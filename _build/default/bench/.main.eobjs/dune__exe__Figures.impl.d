@@ -1,0 +1,1 @@
+bench/figures.ml: Armb_core Armb_cpu Armb_litmus Armb_mem Armb_platform Armb_sim Armb_sync Armb_workloads Catalogue Enumerate Float Format Lang List Printf Sim_runner String

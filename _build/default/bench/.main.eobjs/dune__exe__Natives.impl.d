@@ -1,0 +1,1 @@
+bench/natives.ml: Analyze Armb_runtime Bechamel Benchmark Float Hashtbl Instance List Measure Printf Staged Test Time Toolkit

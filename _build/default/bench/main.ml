@@ -1,0 +1,33 @@
+(* Benchmark harness entry point.
+
+   With no arguments, regenerates every table and figure of the paper's
+   evaluation on the simulator and then runs the native Bechamel
+   micro-benchmarks.  With arguments, runs only the named experiments:
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe fig3 fig6b # a selection
+     dune exec bench/main.exe list       # show available ids *)
+
+let registry = Figures.all @ [ ("native", Natives.run) ]
+
+let list_ids () =
+  print_endline "available experiments:";
+  List.iter (fun (id, _) -> Printf.printf "  %s\n" id) registry
+
+let () =
+  match Array.to_list Sys.argv with
+  | [] | _ :: [] ->
+    Printf.printf
+      "Regenerating every table and figure (see EXPERIMENTS.md for analysis)...\n%!";
+    List.iter (fun (_, f) -> f ()) registry
+  | _ :: [ "list" ] -> list_ids ()
+  | _ :: ids ->
+    List.iter
+      (fun id ->
+        match List.assoc_opt id registry with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown experiment %S\n" id;
+          list_ids ();
+          exit 1)
+      ids

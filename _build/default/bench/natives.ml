@@ -1,0 +1,91 @@
+(* Native micro-benchmarks of the runtime library, measured with
+   Bechamel on the host.  With a single host core these numbers
+   characterize the OCaml implementations (codec cost, per-op overhead
+   of each lock discipline), not ARM barrier behaviour — the simulator
+   benches do that. *)
+
+open Bechamel
+open Toolkit
+
+let codec_test =
+  let pool = Armb_runtime.Pilot_codec.make_pool ~seed:1 () in
+  let s = Armb_runtime.Pilot_codec.sender pool in
+  let r = Armb_runtime.Pilot_codec.receiver pool in
+  let data = ref 0 and flag = ref 0 and i = ref 0 in
+  Test.make ~name:"pilot-codec encode+decode"
+    (Staged.stage (fun () ->
+         incr i;
+         (match Armb_runtime.Pilot_codec.encode s !i with
+         | Armb_runtime.Pilot_codec.Write_data v -> data := v
+         | Armb_runtime.Pilot_codec.Toggle_flag -> flag := !flag lxor 1);
+         ignore (Armb_runtime.Pilot_codec.try_decode r ~data:!data ~flag:!flag)))
+
+let ring_test =
+  let ring = Armb_runtime.Spsc_ring.create ~slots:64 in
+  let i = ref 0 in
+  Test.make ~name:"spsc-ring send+recv"
+    (Staged.stage (fun () ->
+         incr i;
+         ignore (Armb_runtime.Spsc_ring.try_send ring !i);
+         ignore (Armb_runtime.Spsc_ring.try_recv ring)))
+
+let pilot_channel_test =
+  let ch = Armb_runtime.Pilot_channel.create ~slots:64 () in
+  let i = ref 0 in
+  Test.make ~name:"pilot-channel send+recv"
+    (Staged.stage (fun () ->
+         incr i;
+         ignore (Armb_runtime.Pilot_channel.try_send ch !i);
+         ignore (Armb_runtime.Pilot_channel.try_recv ch)))
+
+let ticket_test =
+  let l = Armb_runtime.Ticket_lock.create () in
+  let c = ref 0 in
+  Test.make ~name:"ticket lock+unlock (uncontended)"
+    (Staged.stage (fun () -> Armb_runtime.Ticket_lock.with_lock l (fun () -> incr c)))
+
+let dsmsynch_test =
+  let d = Armb_runtime.Dsmsynch.create () in
+  let c = ref 0 in
+  Test.make ~name:"dsmsynch exec (uncontended)"
+    (Staged.stage (fun () ->
+         ignore
+           (Armb_runtime.Dsmsynch.exec d (fun () ->
+                incr c;
+                !c))))
+
+let dsmsynch_pilot_test =
+  let d = Armb_runtime.Dsmsynch.create ~pilot:true () in
+  let c = ref 0 in
+  Test.make ~name:"dsmsynch-pilot exec (uncontended)"
+    (Staged.stage (fun () ->
+         ignore
+           (Armb_runtime.Dsmsynch.exec d (fun () ->
+                incr c;
+                !c))))
+
+let run () =
+  Printf.printf "\n================ Native micro-benchmarks (Bechamel) ================\n%!";
+  let tests =
+    Test.make_grouped ~name:"native"
+      [ codec_test; ring_test; pilot_channel_test; ticket_test; dsmsynch_pilot_test; dsmsynch_test ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+  in
+  List.iter
+    (fun (name, ns) -> Printf.printf "%-45s %10.1f ns/op\n" name ns)
+    (List.sort compare rows);
+  print_newline ()

@@ -1,0 +1,292 @@
+(* armb: command-line front end of the library.
+
+   Subcommands: platforms, model, tipping, observations, advise, litmus,
+   ring.  See `armb --help`. *)
+
+open Cmdliner
+
+module AM = Armb_core.Abstracted_model
+module Advisor = Armb_core.Advisor
+module Barrier = Armb_cpu.Barrier
+module Ordering = Armb_core.Ordering
+module P = Armb_platform.Platform
+
+let platform_arg =
+  let parse s =
+    match P.by_name s with
+    | Some c -> Ok c
+    | None -> Error (`Msg (Printf.sprintf "unknown platform %S (try: %s)" s (String.concat ", " P.names)))
+  in
+  let print ppf (c : Armb_cpu.Config.t) = Format.fprintf ppf "%s" c.name in
+  Arg.conv (parse, print)
+
+let platform =
+  Arg.(value & opt platform_arg P.kunpeng916 & info [ "p"; "platform" ] ~docv:"NAME" ~doc:"Target platform (kunpeng916, kirin960, kirin970, raspberrypi4).")
+
+let cores =
+  Arg.(value & opt (pair ~sep:',' int int) (0, 28) & info [ "cores" ] ~docv:"A,B" ~doc:"Cores the two threads bind to.")
+
+let approaches =
+  [
+    ("none", Ordering.No_barrier);
+    ("dmb", Ordering.Bar (Barrier.Dmb Full));
+    ("dmb-st", Ordering.Bar (Barrier.Dmb St));
+    ("dmb-ld", Ordering.Bar (Barrier.Dmb Ld));
+    ("dsb", Ordering.Bar (Barrier.Dsb Full));
+    ("dsb-st", Ordering.Bar (Barrier.Dsb St));
+    ("dsb-ld", Ordering.Bar (Barrier.Dsb Ld));
+    ("isb", Ordering.Bar Barrier.Isb);
+    ("ldar", Ordering.Ldar_acquire);
+    ("stlr", Ordering.Stlr_release);
+    ("data-dep", Ordering.Data_dep);
+    ("addr-dep", Ordering.Addr_dep);
+    ("ctrl", Ordering.Ctrl_dep);
+    ("ctrl-isb", Ordering.Ctrl_isb);
+  ]
+
+let approach =
+  Arg.(value & opt (enum approaches) (Ordering.Bar (Barrier.Dmb Full)) & info [ "a"; "approach" ] ~docv:"APPROACH" ~doc:"Order-preserving approach.")
+
+let mem_ops =
+  Arg.(value
+      & opt (enum [ ("none", AM.No_mem); ("store-store", AM.Store_store); ("load-store", AM.Load_store); ("load-load", AM.Load_load) ]) AM.Store_store
+      & info [ "m"; "mem-ops" ] ~docv:"KIND" ~doc:"Memory operations around the barrier.")
+
+let location =
+  Arg.(value & opt (enum [ ("1", AM.Loc1); ("2", AM.Loc2) ]) AM.Loc1 & info [ "l"; "loc" ] ~docv:"1|2" ~doc:"Barrier placement: strictly after the first access (1) or after the NOPs (2).")
+
+let nops = Arg.(value & opt int 300 & info [ "n"; "nops" ] ~docv:"N" ~doc:"NOPs between the accesses.")
+
+let iters = Arg.(value & opt int 2000 & info [ "iters" ] ~docv:"N" ~doc:"Loop iterations per thread.")
+
+(* ---------- platforms ---------- *)
+
+let platforms_cmd =
+  let run () = List.iter (fun c -> Format.printf "%a@.@." Armb_cpu.Config.pp c) P.all in
+  Cmd.v (Cmd.info "platforms" ~doc:"List the calibrated platform models.") Term.(const run $ const ())
+
+(* ---------- model ---------- *)
+
+let model_cmd =
+  let run cfg cores mem_ops approach location nops iters =
+    let spec = { (AM.default_spec cfg) with cores; mem_ops; approach; location; nops; iters } in
+    if not (AM.valid spec) then begin
+      Printf.eprintf "invalid combination: %s with this mem-ops kind\n" (AM.label spec);
+      exit 1
+    end;
+    let thr = AM.run spec in
+    Printf.printf "%s on %s, %d nops: %.2f M loops/s (%d cycles)\n" (AM.label spec)
+      cfg.Armb_cpu.Config.name nops (thr /. 1e6) (AM.run_cycles spec)
+  in
+  Cmd.v
+    (Cmd.info "model" ~doc:"Run one abstracted model (the paper's Algorithm 1).")
+    Term.(const run $ platform $ cores $ mem_ops $ approach $ location $ nops $ iters)
+
+(* ---------- tipping ---------- *)
+
+let tipping_cmd =
+  let run cfg cores =
+    match Armb_core.Characterize.tipping_point cfg ~cores () with
+    | Some n -> Printf.printf "DMB full fully hidden behind ~%d NOPs on %s\n" n cfg.Armb_cpu.Config.name
+    | None -> print_endline "no tipping point found in the sweep"
+  in
+  Cmd.v
+    (Cmd.info "tipping" ~doc:"Find the NOP count at which DMB full-2 matches No Barrier (Figure 4).")
+    Term.(const run $ platform $ cores)
+
+(* ---------- observations ---------- *)
+
+let observations_cmd =
+  let run () =
+    List.iter
+      (fun (name, (v : Armb_core.Observations.verdict)) ->
+        Printf.printf "%-50s %s\n  %s\n" name (if v.holds then "HOLDS" else "FAILS") v.detail)
+      (Armb_core.Observations.all ())
+  in
+  Cmd.v
+    (Cmd.info "observations" ~doc:"Check the paper's six observations against the simulator.")
+    Term.(const run $ const ())
+
+(* ---------- advise ---------- *)
+
+let advise_cmd =
+  let from_a =
+    Arg.(required
+        & opt (some (enum [ ("load", Advisor.From_load); ("store", Advisor.From_store); ("any", Advisor.From_any) ])) None
+        & info [ "from" ] ~docv:"ACCESS" ~doc:"Earlier access kind: load, store or any.")
+  in
+  let to_a =
+    Arg.(required
+        & opt (some (enum [ ("load", Advisor.To_load); ("loads", Advisor.To_loads); ("store", Advisor.To_store); ("stores", Advisor.To_stores); ("any", Advisor.To_any) ])) None
+        & info [ "to" ] ~docv:"ACCESS" ~doc:"Later access kind: load, loads, store, stores or any.")
+  in
+  let run from_ to_ =
+    List.iter
+      (fun (s : Advisor.suggestion) ->
+        Printf.printf "%d. %s%s\n" (s.rank + 1) (Ordering.to_string s.approach)
+          (match s.caveat with Some c -> "  — " ^ c | None -> ""))
+      (Advisor.suggest ~from_ ~to_)
+  in
+  Cmd.v
+    (Cmd.info "advise" ~doc:"Suggest order-preserving approaches (the paper's Table 3).")
+    Term.(const run $ from_a $ to_a)
+
+(* ---------- litmus ---------- *)
+
+let litmus_cmd =
+  let test_name =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Test name (default: all).")
+  in
+  let trials = Arg.(value & opt int 300 & info [ "trials" ] ~docv:"N" ~doc:"Simulator trials.") in
+  let run test_name trials =
+    let tests =
+      match test_name with
+      | None -> Armb_litmus.Catalogue.all
+      | Some n -> (
+        match
+          List.find_opt
+            (fun (t : Armb_litmus.Lang.test) -> String.lowercase_ascii t.name = String.lowercase_ascii n)
+            Armb_litmus.Catalogue.all
+        with
+        | Some t -> [ t ]
+        | None ->
+          Printf.eprintf "unknown test %S; available: %s\n" n
+            (String.concat ", "
+               (List.map (fun (t : Armb_litmus.Lang.test) -> t.name) Armb_litmus.Catalogue.all));
+          exit 1)
+    in
+    List.iter
+      (fun (t : Armb_litmus.Lang.test) ->
+        let wmm = Armb_litmus.Enumerate.allows Armb_litmus.Enumerate.Wmm t in
+        let tso = Armb_litmus.Enumerate.allows Armb_litmus.Enumerate.Tso t in
+        let r = Armb_litmus.Sim_runner.run ~trials t in
+        Printf.printf "%-18s TSO:%-9s WMM:%-9s witnessed:%b\n" t.name
+          (if tso then "Allowed" else "Forbidden")
+          (if wmm then "Allowed" else "Forbidden")
+          r.interesting_witnessed;
+        List.iter (fun (o, k) -> Printf.printf "    %5d  %s\n" k o) r.outcomes)
+      tests
+  in
+  Cmd.v
+    (Cmd.info "litmus" ~doc:"Run litmus tests exhaustively and on the timing simulator.")
+    Term.(const run $ test_name $ trials)
+
+(* ---------- ring ---------- *)
+
+let ring_cmd =
+  let combo =
+    Arg.(value & opt string "DMB ld - DMB st" & info [ "combo" ] ~docv:"NAME" ~doc:"Barrier combination (Figure 6(a) legend name), or \"pilot\".")
+  in
+  let messages = Arg.(value & opt int 4000 & info [ "messages" ] ~docv:"N" ~doc:"Messages to transfer.") in
+  let run cfg cores combo messages =
+    if String.lowercase_ascii combo = "pilot" then begin
+      let spec = { (Armb_sync.Pilot_ring.default_spec cfg ~cores) with messages } in
+      let r = Armb_sync.Pilot_ring.run spec in
+      Printf.printf "Pilot ring on %s: %.2f M msgs/s (%d fallbacks)\n" cfg.Armb_cpu.Config.name
+        (r.throughput /. 1e6) r.fallbacks
+    end
+    else begin
+      let spec =
+        { (Armb_sync.Spsc_ring.default_spec cfg ~cores) with
+          messages;
+          barriers = Armb_sync.Spsc_ring.combo combo;
+        }
+      in
+      let r = Armb_sync.Spsc_ring.verified_run spec in
+      Printf.printf "%s on %s: %.2f M msgs/s\n" combo cfg.Armb_cpu.Config.name
+        (r.throughput /. 1e6)
+    end
+  in
+  Cmd.v
+    (Cmd.info "ring" ~doc:"Run the producer-consumer ring with a chosen barrier combination.")
+    Term.(const run $ platform $ cores $ combo $ messages)
+
+(* ---------- report ---------- *)
+
+let report_cmd =
+  let run cfg =
+    Armb_core.Report.print (Armb_core.Report.generate cfg)
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Generate the full Markdown barrier-characterization report for a platform.")
+    Term.(const run $ platform)
+
+(* ---------- fuzz ---------- *)
+
+let fuzz_cmd =
+  let tests = Arg.(value & opt int 50 & info [ "tests" ] ~docv:"N" ~doc:"Random tests to generate.") in
+  let trials = Arg.(value & opt int 60 & info [ "trials" ] ~docv:"N" ~doc:"Simulator trials per test.") in
+  let seed = Arg.(value & opt int 1234 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed.") in
+  let run tests trials_per_test seed =
+    let r = Armb_litmus.Fuzz.run ~tests ~trials_per_test ~seed () in
+    Format.printf "%a@." Armb_litmus.Fuzz.pp_report r;
+    if r.Armb_litmus.Fuzz.violations <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzz: random litmus tests, simulator outcomes checked against the operational model.")
+    Term.(const run $ tests $ trials $ seed)
+
+(* ---------- trace ---------- *)
+
+let trace_cmd =
+  let out =
+    Arg.(value & opt string "armb-trace.json" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (Chrome trace-event JSON).")
+  in
+  let messages = Arg.(value & opt int 200 & info [ "messages" ] ~docv:"N" ~doc:"Ring messages to trace.") in
+  let run cfg cores out messages =
+    let tr = Armb_cpu.Trace.create () in
+    let spec =
+      { (Armb_sync.Spsc_ring.default_spec cfg ~cores) with messages }
+    in
+    (* rebuild the ring run with a traced machine *)
+    let m = Armb_cpu.Machine.create ~tracer:(Armb_cpu.Trace.emit tr) cfg in
+    let prod_cnt = Armb_cpu.Machine.alloc_line m in
+    let cons_cnt = Armb_cpu.Machine.alloc_line m in
+    let buf = Armb_cpu.Machine.alloc_lines m spec.slots in
+    let open Armb_cpu in
+    Machine.spawn m ~core:spec.producer_core (fun c ->
+        for i = 0 to messages - 1 do
+          let avail v = Int64.to_int v > i - spec.slots in
+          let cv = Core.await c (Core.load c cons_cnt) in
+          if not (avail cv) then ignore (Core.spin_until c cons_cnt avail);
+          Core.barrier c (Barrier.Dmb Ld);
+          Core.compute c spec.produce_nops;
+          Core.store c (buf + (i mod spec.slots * 64)) (Int64.of_int i);
+          Core.barrier c (Barrier.Dmb St);
+          Core.store c prod_cnt (Int64.of_int (i + 1))
+        done);
+    Machine.spawn m ~core:spec.consumer_core (fun c ->
+        for i = 0 to messages - 1 do
+          ignore (Core.spin_until c prod_cnt (fun v -> Int64.to_int v > i));
+          Core.barrier c (Barrier.Dmb Ld);
+          ignore (Core.await c (Core.load c (buf + (i mod spec.slots * 64))));
+          Core.store c cons_cnt (Int64.of_int (i + 1))
+        done);
+    Machine.run_exn m;
+    Trace.write_file tr out;
+    Printf.printf "wrote %d spans (%d dropped) covering %d cycles to %s\n"
+      (List.length (Trace.spans tr)) (Trace.dropped tr) (Machine.elapsed m) out;
+    print_endline "open it at chrome://tracing or https://ui.perfetto.dev"
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Trace a producer-consumer run and export Chrome trace-event JSON.")
+    Term.(const run $ platform $ cores $ out $ messages)
+
+let () =
+  let doc = "ARM barrier characterization and optimization toolkit (PPoPP'20 reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "armb" ~version:"1.0.0" ~doc)
+          [
+            platforms_cmd;
+            model_cmd;
+            tipping_cmd;
+            observations_cmd;
+            advise_cmd;
+            litmus_cmd;
+            ring_cmd;
+            report_cmd;
+            fuzz_cmd;
+            trace_cmd;
+          ]))

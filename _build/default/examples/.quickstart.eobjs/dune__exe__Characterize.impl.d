@@ -1,0 +1,1 @@
+examples/characterize.ml: Armb_core Armb_cpu Armb_mem Armb_sim Format Printf

@@ -1,0 +1,1 @@
+examples/delegation_locks.ml: Armb_platform Armb_runtime Armb_sync Domain List Printf

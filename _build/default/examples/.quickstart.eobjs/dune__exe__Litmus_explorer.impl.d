@@ -1,0 +1,1 @@
+examples/litmus_explorer.ml: Armb_litmus Format List Printf

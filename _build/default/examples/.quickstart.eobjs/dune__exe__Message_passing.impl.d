@@ -1,0 +1,1 @@
+examples/message_passing.ml: Armb_mem Armb_platform Armb_sync List Printf

@@ -1,0 +1,1 @@
+examples/pipeline_native.ml: Armb_runtime List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Armb_core Armb_cpu Armb_mem Armb_platform Int64 Printf

@@ -1,0 +1,55 @@
+(* Characterize barrier costs on a platform of your own design: build a
+   custom machine config, run the paper's abstracted models and
+   observation checks against it, and get Table-3-style advice.
+
+   Run with:  dune exec examples/characterize.exe *)
+
+module Config = Armb_cpu.Config
+module Topology = Armb_mem.Topology
+
+(* An imaginary 4-node ARM server with a slow interconnect. *)
+let my_server : Config.t =
+  {
+    name = "myserver4";
+    freq_ghz = 3.0;
+    topo = Topology.make ~nodes:4 ~clusters_per_node:3 ~cores_per_cluster:4;
+    lat =
+      {
+        l1_hit = 2;
+        same_cluster = 12;
+        same_node = 18;
+        cross_node = 95;
+        dram = 120;
+        bisection_rt = 8;
+        domain_rt = 500;
+        rmw_extra = 8;
+      };
+    alu_ipc = 8;
+    rob_size = 48;
+    sb_size = 20;
+    isb_cost = 30;
+    dmb_min = 2;
+    stlr_extra = 90;
+    quantum = 64;
+  }
+
+let () =
+  Format.printf "Platform under test:@.%a@.@." Config.pp my_server;
+  (* Figure-3-style sweep between the two farthest cores. *)
+  let far = Topology.num_cores my_server.topo - 1 in
+  Armb_sim.Series.print
+    (Armb_core.Characterize.fig3 my_server ~cores:(0, far) ~label:"myserver4 cross-node"
+       ~nop_counts:[ 100; 400; 900 ] ~iters:1200);
+  (* Where do NOPs start hiding a DMB full? *)
+  (match Armb_core.Characterize.tipping_point my_server ~cores:(0, far) () with
+  | Some n -> Printf.printf "DMB full hidden behind ~%d independent instructions\n" n
+  | None -> print_endline "DMB full never fully hidden in the sweep");
+  (* Do the paper's per-platform observations hold here too? *)
+  let v = Armb_core.Observations.obs2_location_matters my_server ~cores:(0, far) in
+  Printf.printf "observation 2 (location matters): %s [%s]\n"
+    (if v.holds then "holds" else "does not hold")
+    v.detail;
+  let v = Armb_core.Observations.obs6_no_bus_wins my_server ~cores:(0, far) in
+  Printf.printf "observation 6 (no-bus wins):      %s [%s]\n"
+    (if v.holds then "holds" else "does not hold")
+    v.detail

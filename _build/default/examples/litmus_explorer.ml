@@ -1,0 +1,33 @@
+(* Explore weak-memory behaviours: enumerate what the operational WMM
+   and TSO models allow for each catalogue test, then witness the
+   allowed reorderings dynamically on the timing simulator.
+
+   Run with:  dune exec examples/litmus_explorer.exe *)
+
+module L = Armb_litmus
+
+let () =
+  List.iter
+    (fun (t : L.Lang.test) ->
+      Printf.printf "=== %s ===\n%s\n" t.name t.description;
+      List.iteri
+        (fun i th ->
+          Printf.printf "  P%d: " i;
+          List.iter
+            (fun instr -> Printf.printf "%s; " (Format.asprintf "%a" L.Lang.pp_instr instr))
+            th;
+          print_newline ())
+        t.threads;
+      let wmm = L.Enumerate.enumerate L.Enumerate.Wmm t in
+      let tso = L.Enumerate.enumerate L.Enumerate.Tso t in
+      Printf.printf "  outcomes: %d under WMM, %d under TSO\n" (List.length wmm)
+        (List.length tso);
+      Printf.printf "  weak outcome: TSO %s, WMM %s\n"
+        (if L.Enumerate.allows L.Enumerate.Tso t then "allowed" else "forbidden")
+        (if L.Enumerate.allows L.Enumerate.Wmm t then "allowed" else "forbidden");
+      let r = L.Sim_runner.run ~trials:300 t in
+      Printf.printf "  simulator (300 trials): weak outcome witnessed = %b\n"
+        r.interesting_witnessed;
+      List.iter (fun (o, n) -> Printf.printf "    %5d  %s\n" n o) r.outcomes;
+      print_newline ())
+    [ L.Catalogue.mp; L.Catalogue.mp_dmb; L.Catalogue.sb; L.Catalogue.lb; L.Catalogue.wrc ]

@@ -1,0 +1,26 @@
+(* A native 3-stage pipeline over domains, comparing plain SPSC rings
+   with Pilot channels end to end (the runtime counterpart of the dedup
+   experiment).
+
+   Run with:  dune exec examples/pipeline_native.exe *)
+
+module R = Armb_runtime
+
+let checksum = List.fold_left ( + ) 0
+
+let run kind name =
+  let stages = [ (fun x -> x + 1); (fun x -> x * 3); (fun x -> x - 2) ] in
+  let inputs = List.init 2_000 (fun i -> i land 0xFF) in
+  let spec = { R.Pipeline.channel = kind; slots = 64; stages } in
+  let r = R.Pipeline.run spec ~inputs in
+  let expect = List.map (fun x -> (((x + 1) * 3) - 2)) inputs in
+  assert (checksum r.outputs = checksum expect);
+  Printf.printf "%-12s %d messages through 3 stages in %.1f ms (checksum ok)\n" name
+    (List.length inputs) (r.elapsed_ns /. 1e6)
+
+let () =
+  run R.Pipeline.Plain_ring "plain ring";
+  run R.Pipeline.Pilot "pilot";
+  print_endline
+    "(single-core host: timings show overhead, not parallel speedup — see bench/ for the\n\
+     simulator version of this experiment)"

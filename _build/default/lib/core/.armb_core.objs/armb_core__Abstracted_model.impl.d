@@ -1,0 +1,1 @@
+lib/core/abstracted_model.ml: Armb_cpu Armb_sim Int64 Ordering Printf

@@ -1,0 +1,1 @@
+lib/core/abstracted_model.mli: Armb_cpu Ordering

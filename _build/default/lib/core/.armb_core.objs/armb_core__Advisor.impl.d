@@ -1,0 +1,1 @@
+lib/core/advisor.ml: Armb_cpu Armb_sim List Ordering

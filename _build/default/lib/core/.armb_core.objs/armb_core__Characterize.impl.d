@@ -1,0 +1,1 @@
+lib/core/characterize.ml: Abstracted_model Armb_cpu Armb_sim List Ordering Printf

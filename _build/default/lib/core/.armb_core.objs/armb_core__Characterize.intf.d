@@ -1,0 +1,1 @@
+lib/core/characterize.mli: Armb_cpu Armb_sim

@@ -1,0 +1,1 @@
+lib/core/observations.ml: Abstracted_model Armb_cpu Armb_mem Armb_platform Float List Ordering Printf

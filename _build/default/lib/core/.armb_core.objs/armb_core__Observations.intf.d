@@ -1,0 +1,1 @@
+lib/core/observations.mli: Armb_cpu

@@ -1,0 +1,1 @@
+lib/core/ordering.ml: Armb_cpu Format

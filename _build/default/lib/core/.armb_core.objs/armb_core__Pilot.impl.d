@@ -1,0 +1,1 @@
+lib/core/pilot.ml: Armb_sim Array Int64

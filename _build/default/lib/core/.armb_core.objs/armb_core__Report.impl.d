@@ -1,0 +1,1 @@
+lib/core/report.ml: Abstracted_model Armb_cpu Armb_mem Armb_sim Buffer Characterize Format List Observations Ordering Printf

@@ -1,0 +1,1 @@
+lib/core/report.mli: Armb_cpu Armb_sim Observations Ordering

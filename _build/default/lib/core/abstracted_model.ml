@@ -1,0 +1,198 @@
+module Barrier = Armb_cpu.Barrier
+module Core = Armb_cpu.Core
+module Machine = Armb_cpu.Machine
+
+type mem_ops = No_mem | Store_store | Load_store | Load_load
+
+type location = Loc1 | Loc2
+
+type spec = {
+  cfg : Armb_cpu.Config.t;
+  cores : int * int;
+  mem_ops : mem_ops;
+  approach : Ordering.t;
+  location : location;
+  nops : int;
+  iters : int;
+  buffer_lines : int;
+}
+
+let default_spec cfg =
+  {
+    cfg;
+    cores = (0, 1);
+    mem_ops = Store_store;
+    approach = Ordering.No_barrier;
+    location = Loc1;
+    nops = 100;
+    iters = 2000;
+    buffer_lines = 64;
+  }
+
+let label spec =
+  let base = Ordering.to_string spec.approach in
+  match spec.approach with
+  | Ordering.Bar _ -> base ^ (match spec.location with Loc1 -> "-1" | Loc2 -> "-2")
+  | _ -> base
+
+let first_is_load spec =
+  match spec.mem_ops with Load_store | Load_load -> true | No_mem | Store_store -> false
+
+let second_is_store spec =
+  match spec.mem_ops with Store_store | Load_store -> true | No_mem | Load_load -> false
+
+let valid spec =
+  spec.nops >= 0 && spec.iters > 0 && spec.buffer_lines > 0
+  &&
+  match spec.mem_ops with
+  | No_mem -> ( match spec.approach with Ordering.No_barrier | Ordering.Bar _ -> true | _ -> false)
+  | _ ->
+    (not (Ordering.requires_leading_load spec.approach && not (first_is_load spec)))
+    && not (Ordering.requires_trailing_store spec.approach && not (second_is_store spec))
+
+(* One thread's loop body.  Both threads walk the same two line streams
+   half a buffer apart, so each line a thread touches was last written
+   by the other thread — every access around the barrier is a remote
+   memory reference, as in the paper's harness, without the two threads
+   colliding on the same line at the same instant. *)
+let thread_body spec ~buf_a ~buf_b ~phase (c : Core.t) =
+  let loop_overhead = 3 in
+  (* add x0 / add x1 / add-cmp-branch of Algorithm 1 *)
+  let n = spec.iters and lines = spec.buffer_lines in
+  let offset = if phase = 0 then 0 else lines / 2 in
+  for i = 0 to n - 1 do
+    let slot = (i + offset) mod lines in
+    let addr_a = buf_a + (slot * 64) and addr_b = buf_b + (slot * 64) in
+    (match spec.mem_ops with
+    | No_mem ->
+      (* Barrier placed on the critical path between NOP batches. *)
+      (match (spec.approach, spec.location) with
+      | Ordering.Bar b, Loc1 -> Core.barrier c b
+      | _ -> ());
+      Core.compute c spec.nops;
+      (match (spec.approach, spec.location) with
+      | Ordering.Bar b, Loc2 -> Core.barrier c b
+      | _ -> ())
+    | Store_store -> (
+      match spec.approach with
+      | Ordering.Stlr_release ->
+        Core.store c addr_a 1L;
+        Core.compute c spec.nops;
+        Core.stlr c addr_b 2L
+      | Ordering.Bar b ->
+        Core.store c addr_a 1L;
+        if spec.location = Loc1 then Core.barrier c b;
+        Core.compute c spec.nops;
+        if spec.location = Loc2 then Core.barrier c b;
+        Core.store c addr_b 2L
+      | Ordering.No_barrier ->
+        Core.store c addr_a 1L;
+        Core.compute c spec.nops;
+        Core.store c addr_b 2L
+      | _ -> assert false)
+    | Load_store -> (
+      match spec.approach with
+      | Ordering.No_barrier ->
+        ignore (Core.load c addr_a);
+        Core.compute c spec.nops;
+        Core.store c addr_b 2L
+      | Ordering.Bar b ->
+        ignore (Core.load c addr_a);
+        if spec.location = Loc1 then Core.barrier c b;
+        Core.compute c spec.nops;
+        if spec.location = Loc2 then Core.barrier c b;
+        Core.store c addr_b 2L
+      | Ordering.Ldar_acquire ->
+        ignore (Core.ldar c addr_a);
+        Core.compute c spec.nops;
+        Core.store c addr_b 2L
+      | Ordering.Stlr_release ->
+        ignore (Core.load c addr_a);
+        Core.compute c spec.nops;
+        Core.stlr c addr_b 2L
+      | Ordering.Data_dep ->
+        (* NOPs are independent of the load; only the stored value is
+           data-dependent (bogus xor), so they overlap the miss. *)
+        let tok = Core.load c addr_a in
+        Core.compute c spec.nops;
+        let v = Core.await c tok in
+        Core.compute c 1;
+        Core.store c addr_b (Int64.logxor v v |> Int64.add 2L)
+      | Ordering.Addr_dep ->
+        let tok = Core.load c addr_a in
+        Core.compute c spec.nops;
+        let v = Core.await c tok in
+        Core.compute c 1;
+        let bogus = Int64.to_int (Int64.logxor v v) in
+        Core.store c (addr_b + bogus) 2L
+      | Ordering.Ctrl_dep ->
+        let tok = Core.load c addr_a in
+        Core.compute c spec.nops;
+        let v = Core.await c tok in
+        Core.compute c 1;
+        if Int64.equal (Int64.logxor v v) 0L then Core.store c addr_b 2L
+      | Ordering.Ctrl_isb ->
+        let tok = Core.load c addr_a in
+        Core.compute c spec.nops;
+        let v = Core.await c tok in
+        Core.compute c 1;
+        if Int64.equal (Int64.logxor v v) 0L then begin
+          Core.barrier c Barrier.Isb;
+          Core.store c addr_b 2L
+        end)
+    | Load_load -> (
+      match spec.approach with
+      | Ordering.No_barrier ->
+        ignore (Core.load c addr_a);
+        Core.compute c spec.nops;
+        ignore (Core.load c addr_b)
+      | Ordering.Bar b ->
+        ignore (Core.load c addr_a);
+        if spec.location = Loc1 then Core.barrier c b;
+        Core.compute c spec.nops;
+        if spec.location = Loc2 then Core.barrier c b;
+        ignore (Core.load c addr_b)
+      | Ordering.Ldar_acquire ->
+        ignore (Core.ldar c addr_a);
+        Core.compute c spec.nops;
+        ignore (Core.load c addr_b)
+      | Ordering.Addr_dep ->
+        let tok = Core.load c addr_a in
+        Core.compute c spec.nops;
+        let v = Core.await c tok in
+        Core.compute c 1;
+        let bogus = Int64.to_int (Int64.logxor v v) in
+        ignore (Core.load c (addr_b + bogus))
+      | Ordering.Ctrl_isb ->
+        let tok = Core.load c addr_a in
+        Core.compute c spec.nops;
+        let v = Core.await c tok in
+        Core.compute c 1;
+        if Int64.equal (Int64.logxor v v) 0L then begin
+          Core.barrier c Barrier.Isb;
+          ignore (Core.load c addr_b)
+        end
+      | _ -> assert false));
+    Core.compute c loop_overhead
+  done
+
+let run_machine spec =
+  if not (valid spec) then
+    invalid_arg
+      (Printf.sprintf "Abstracted_model: invalid combination (%s)" (label spec));
+  let m = Machine.create spec.cfg in
+  let buf_a = Machine.alloc_lines m spec.buffer_lines in
+  let buf_b = Machine.alloc_lines m spec.buffer_lines in
+  let c0, c1 = spec.cores in
+  Machine.spawn m ~core:c0 (thread_body spec ~buf_a ~buf_b ~phase:0);
+  Machine.spawn m ~core:c1 (thread_body spec ~buf_a ~buf_b ~phase:1);
+  Machine.run_exn m;
+  m
+
+let run_cycles spec = Machine.elapsed (run_machine spec)
+
+let run spec =
+  let m = run_machine spec in
+  (* Per-thread loop throughput, as reported in the paper's figures. *)
+  Armb_sim.Stats.throughput_per_sec ~ops:spec.iters ~cycles:(Machine.elapsed m)
+    ~freq_ghz:spec.cfg.freq_ghz

@@ -1,0 +1,115 @@
+module Barrier = Armb_cpu.Barrier
+module Config = Armb_cpu.Config
+module Series = Armb_sim.Series
+module Topology = Armb_mem.Topology
+
+type t = {
+  cfg : Config.t;
+  intrinsic : Series.table;
+  store_store : Series.table;
+  load_store : Series.table;
+  tipping : int option;
+  observations : (string * Observations.verdict) list;
+  best_store_publish : Ordering.t;
+}
+
+let default_cores cfg = (0, Topology.num_cores cfg.Config.topo - 1)
+
+let generate ?cores ?nop_counts ?(iters = 1200) (cfg : Config.t) =
+  let cores = match cores with Some c -> c | None -> default_cores cfg in
+  let nop_counts =
+    match nop_counts with
+    | Some l -> l
+    | None ->
+      (* scale to the ALU width so the sweep brackets the barrier costs *)
+      List.map (fun k -> k * cfg.alu_ipc * 10) [ 1; 3; 7 ]
+  in
+  let label = Printf.sprintf "%s cores %d,%d" cfg.name (fst cores) (snd cores) in
+  let intrinsic = Characterize.fig2 cfg ~nop_counts ~iters in
+  let store_store = Characterize.fig3 cfg ~cores ~label ~nop_counts ~iters in
+  let load_store = Characterize.fig5 cfg ~cores ~nop_counts ~iters in
+  let tipping = Characterize.tipping_point cfg ~cores ~iters () in
+  let observations =
+    [
+      ("intrinsic overhead stable (obs 1)", Observations.obs1_intrinsic_overhead cfg);
+      ("barrier location matters (obs 2)", Observations.obs2_location_matters cfg ~cores);
+      ("no-bus approaches win (obs 6)", Observations.obs6_no_bus_wins cfg ~cores);
+    ]
+  in
+  (* empirically choose the best legal publish barrier for the
+     data-then-flag pattern on this platform (the Obs-3 question) *)
+  let publish_cost approach =
+    let spec =
+      {
+        (Abstracted_model.default_spec cfg) with
+        cores;
+        mem_ops = Abstracted_model.Store_store;
+        approach;
+        nops = List.hd nop_counts;
+        iters;
+      }
+    in
+    Abstracted_model.run spec
+  in
+  let candidates = [ Ordering.Bar (Barrier.Dmb St); Ordering.Stlr_release ] in
+  let best_store_publish =
+    fst
+      (List.fold_left
+         (fun (best, bt) a ->
+           let t = publish_cost a in
+           if t > bt then (a, t) else (best, bt))
+         (Ordering.Bar (Barrier.Dmb St), publish_cost (Ordering.Bar (Barrier.Dmb St)))
+         candidates)
+  in
+  { cfg; intrinsic; store_store; load_store; tipping; observations; best_store_publish }
+
+let to_markdown t =
+  let buf = Buffer.create 4096 in
+  let p fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  p "# Barrier characterization: %s" t.cfg.Config.name;
+  p "";
+  p "Platform model: %s" (Format.asprintf "%a" Config.pp t.cfg);
+  p "";
+  p "## Intrinsic barrier overhead (no memory operations)";
+  p "";
+  p "```";
+  Buffer.add_string buf (Format.asprintf "%a" Series.pp t.intrinsic);
+  p "```";
+  p "";
+  p "## Store-store model (data-then-flag publication)";
+  p "";
+  p "```";
+  Buffer.add_string buf (Format.asprintf "%a" Series.pp t.store_store);
+  p "```";
+  p "";
+  p "## Load-store model (consume-then-write)";
+  p "";
+  p "```";
+  Buffer.add_string buf (Format.asprintf "%a" Series.pp t.load_store);
+  p "```";
+  p "";
+  (match t.tipping with
+  | Some n ->
+    p "A `DMB full` is fully hidden behind ~%d independent instructions on this platform." n
+  | None -> p "No instruction count in the sweep fully hides a `DMB full` on this platform.");
+  p "";
+  p "## Observation checks";
+  p "";
+  List.iter
+    (fun (name, (v : Observations.verdict)) ->
+      p "- %s: **%s** — %s" name (if v.holds then "holds" else "does not hold") v.detail)
+    t.observations;
+  p "";
+  p "## Recommendations";
+  p "";
+  p "- Publish data-then-flag with **%s** (empirically best legal choice here%s)."
+    (Ordering.to_string t.best_store_publish)
+    (if t.best_store_publish = Ordering.Stlr_release then ""
+     else "; STLR measured slower — Observation 3");
+  p "- Order load-to-anything with dependencies, LDAR or DMB ld (no bus transaction).";
+  p "- Keep DMB full away from remote memory references, or hide it behind ~%s independent instructions."
+    (match t.tipping with Some n -> string_of_int n | None -> "(unbounded)");
+  p "- Use the Table-3 advisor (`armb advise`) for per-scenario choices.";
+  Buffer.contents buf
+
+let print t = print_string (to_markdown t)

@@ -1,0 +1,30 @@
+(** One-shot characterization report for a platform model: runs the
+    paper's methodology (intrinsic overhead, store-store and load-store
+    models, tipping point, observation checks) against a configuration
+    and renders a self-contained Markdown document with the platform's
+    numbers and per-scenario recommendations.
+
+    This is the paper operationalized as a tool: point it at a machine
+    model (see {!Armb_platform.Platform} or build your own
+    {!Armb_cpu.Config.t}) and get its barrier cheat-sheet. *)
+
+type t = {
+  cfg : Armb_cpu.Config.t;
+  intrinsic : Armb_sim.Series.table;
+  store_store : Armb_sim.Series.table;
+  load_store : Armb_sim.Series.table;
+  tipping : int option;
+  observations : (string * Observations.verdict) list;
+  best_store_publish : Ordering.t;
+      (** empirically best legal publish choice in the ring benchmark *)
+}
+
+val generate :
+  ?cores:int * int -> ?nop_counts:int list -> ?iters:int -> Armb_cpu.Config.t -> t
+(** Defaults: the two most distant cores, NOP counts scaled to the
+    platform's ALU width, 1200 iterations. *)
+
+val to_markdown : t -> string
+(** Render the full report. *)
+
+val print : t -> unit

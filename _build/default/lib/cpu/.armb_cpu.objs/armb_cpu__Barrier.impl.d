@@ -1,0 +1,1 @@
+lib/cpu/barrier.ml: Format

@@ -1,0 +1,1 @@
+lib/cpu/config.ml: Armb_mem Format

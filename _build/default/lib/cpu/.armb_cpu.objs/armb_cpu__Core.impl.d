@@ -1,0 +1,1 @@
+lib/cpu/core.ml: Armb_mem Armb_sim Barrier Config Effect Hashtbl Int64 List Printf Queue Trace

@@ -1,0 +1,1 @@
+lib/cpu/core.mli: Armb_mem Armb_sim Barrier Config Effect Trace

@@ -1,0 +1,1 @@
+lib/cpu/machine.ml: Armb_mem Armb_sim Config Core Effect Hashtbl List Printexc Printf String Trace

@@ -1,0 +1,1 @@
+lib/cpu/machine.mli: Armb_mem Armb_sim Config Core Trace

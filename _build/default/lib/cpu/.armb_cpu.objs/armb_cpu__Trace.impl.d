@@ -1,0 +1,1 @@
+lib/cpu/trace.ml: Buffer Char Fun List Printf String

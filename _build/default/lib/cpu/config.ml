@@ -1,0 +1,25 @@
+type t = {
+  name : string;
+  freq_ghz : float;
+  topo : Armb_mem.Topology.t;
+  lat : Armb_mem.Latency.t;
+  alu_ipc : int;
+  rob_size : int;
+  sb_size : int;
+  isb_cost : int;
+  dmb_min : int;
+  stlr_extra : int;
+  quantum : int;
+}
+
+let validate t =
+  if t.alu_ipc <= 0 then invalid_arg "Config: alu_ipc must be positive";
+  if t.rob_size <= 0 then invalid_arg "Config: rob_size must be positive";
+  if t.sb_size <= 0 then invalid_arg "Config: sb_size must be positive";
+  if t.quantum <= 0 then invalid_arg "Config: quantum must be positive";
+  if t.freq_ghz <= 0.0 then invalid_arg "Config: freq_ghz must be positive"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s: %.2f GHz, %a@,ipc=%d rob=%d sb=%d isb=%d dmb_min=%d stlr+=%d@,%a@]"
+    t.name t.freq_ghz Armb_mem.Topology.pp t.topo t.alu_ipc t.rob_size t.sb_size t.isb_cost
+    t.dmb_min t.stlr_extra Armb_mem.Latency.pp t.lat

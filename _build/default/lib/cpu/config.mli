@@ -1,0 +1,32 @@
+(** Calibrated description of a simulated platform's core
+    micro-architecture.  Instances for the paper's four machines live in
+    [armb_platform]. *)
+
+type t = {
+  name : string;
+  freq_ghz : float;  (** converts cycles to wall-clock throughput *)
+  topo : Armb_mem.Topology.t;
+  lat : Armb_mem.Latency.t;
+  alu_ipc : int;  (** NOP/ALU instructions issued per cycle *)
+  rob_size : int;  (** in-flight instruction window *)
+  sb_size : int;  (** store-buffer entries *)
+  isb_cost : int;  (** pipeline flush + refill penalty *)
+  dmb_min : int;
+      (** cost of a DMB whose transaction terminates internally
+          (no outstanding relevant accesses) *)
+  stlr_extra : int;
+      (** extra cycles an STLR commit spends at the interconnect —
+          vendor-defined; large on the platforms where the paper found
+          STLR slower than the stronger DMB full (Observation 3),
+          zero where STLR behaved well (Kirin 960/970) *)
+  quantum : int;
+      (** run-ahead bound: a simulated thread yields to the event queue
+          once its local cycle counter gets this far ahead of global
+          simulated time, so concurrent threads interleave finely enough
+          for cache-line ping-pong to be modelled faithfully *)
+}
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on non-positive resources. *)
+
+val pp : Format.formatter -> t -> unit

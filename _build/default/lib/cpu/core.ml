@@ -1,0 +1,461 @@
+module Memsys = Armb_mem.Memsys
+module Event_queue = Armb_sim.Event_queue
+
+type token = {
+  mutable completed : bool;
+  mutable v : int64;
+  mutable complete_at : int;
+  mutable waiter : (unit -> unit) option;
+}
+
+type counters = {
+  loads : int;
+  stores : int;
+  barriers : int;
+  rmws : int;
+  spins : int;
+}
+
+type t = {
+  id : int;
+  cfg : Config.t;
+  q : Event_queue.t;
+  memory : Memsys.t;
+  mutable cursor : int;
+  (* In-flight window (ROB): (op count, retire-ready time) in program
+     order; retire-ready is the running max of completion times, which
+     encodes in-order retirement. *)
+  inflight : (int * int) Queue.t;
+  mutable inflight_count : int;
+  mutable retire_wm : int;
+  (* Store buffer: completion times of undrained stores, plus a
+     forwarding map word-address -> (value, pending count). *)
+  mutable sb : int list;
+  fwd : (int, int64 * int) Hashtbl.t;
+  (* Ordering state. *)
+  mutable load_gate : int; (* earliest issue of subsequent loads *)
+  mutable sb_gate : int; (* earliest drain start of subsequent stores *)
+  line_load_until : (int, int) Hashtbl.t;
+      (* per line: latest completion among this core's issued loads —
+         a later same-line store may not commit before them (po-loc) *)
+  mutable last_load_complete : int;
+  mutable last_store_complete : int;
+  mutable cross_load_until : int; (* a cross-node load outstanding until t *)
+  mutable cross_store_until : int;
+  tracer : (Trace.span -> unit) option;
+  (* Counters. *)
+  mutable n_loads : int;
+  mutable n_stores : int;
+  mutable n_barriers : int;
+  mutable n_rmws : int;
+  mutable n_spins : int;
+}
+
+type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+let make ?tracer ~id ~cfg ~queue ~mem () =
+  Config.validate cfg;
+  {
+    tracer;
+    id;
+    cfg;
+    q = queue;
+    memory = mem;
+    cursor = 0;
+    inflight = Queue.create ();
+    inflight_count = 0;
+    retire_wm = 0;
+    sb = [];
+    fwd = Hashtbl.create 64;
+    load_gate = 0;
+    sb_gate = 0;
+    line_load_until = Hashtbl.create 64;
+    last_load_complete = 0;
+    last_store_complete = 0;
+    cross_load_until = 0;
+    cross_store_until = 0;
+    n_loads = 0;
+    n_stores = 0;
+    n_barriers = 0;
+    n_rmws = 0;
+    n_spins = 0;
+  }
+
+let id t = t.id
+let cursor t = t.cursor
+let config t = t.cfg
+let mem t = t.memory
+
+(* Yield to the event queue when the thread has run too far ahead of
+   global simulated time, so concurrently-running threads interleave at
+   [quantum] granularity and contend for cache lines realistically. *)
+let maybe_yield t =
+  if t.cursor - Event_queue.now t.q > t.cfg.quantum then begin
+    let q = t.q and at = t.cursor in
+    Effect.perform (Suspend (fun resume -> Event_queue.schedule q ~at resume))
+  end
+
+let counters t =
+  { loads = t.n_loads; stores = t.n_stores; barriers = t.n_barriers; rmws = t.n_rmws; spins = t.n_spins }
+
+let sync_to t time = if time > t.cursor then t.cursor <- time
+
+let trace t ~kind ~name ~start_cycle ~duration =
+  match t.tracer with
+  | Some f -> f { Trace.core = t.id; kind; name; start_cycle; duration }
+  | None -> ()
+
+(* ---------- In-flight window ---------- *)
+
+let retire_ready t =
+  (* Free entries whose retire time has passed. *)
+  let continue = ref true in
+  while !continue do
+    match Queue.peek_opt t.inflight with
+    | Some (c, r) when r <= t.cursor ->
+      ignore (Queue.pop t.inflight);
+      t.inflight_count <- t.inflight_count - c
+    | _ -> continue := false
+  done
+
+let retire_oldest t =
+  match Queue.take_opt t.inflight with
+  | Some (c, r) ->
+    t.inflight_count <- t.inflight_count - c;
+    if r > t.cursor then t.cursor <- r
+  | None -> ()
+
+let push_op t count completion =
+  retire_ready t;
+  while t.inflight_count + count > t.cfg.rob_size && not (Queue.is_empty t.inflight) do
+    retire_oldest t
+  done;
+  t.retire_wm <- max t.retire_wm completion;
+  Queue.push (count, t.retire_wm) t.inflight;
+  t.inflight_count <- t.inflight_count + count
+
+(* ---------- ALU work ---------- *)
+
+let compute t n =
+  if n < 0 then invalid_arg "Core.compute: negative count";
+  let trace_start = t.cursor in
+  let remaining = ref n in
+  while !remaining > 0 do
+    retire_ready t;
+    let free = t.cfg.rob_size - t.inflight_count in
+    if free <= 0 then retire_oldest t
+    else begin
+      let k = min free !remaining in
+      let cycles = (k + t.cfg.alu_ipc - 1) / t.cfg.alu_ipc in
+      t.cursor <- t.cursor + cycles;
+      t.retire_wm <- max t.retire_wm t.cursor;
+      Queue.push (k, t.retire_wm) t.inflight;
+      t.inflight_count <- t.inflight_count + k;
+      remaining := !remaining - k
+    end
+  done;
+  if n > 0 then
+    trace t ~kind:"compute" ~name:(string_of_int n ^ " ops") ~start_cycle:trace_start
+      ~duration:(t.cursor - trace_start)
+(* Note: compute does not yield — a thread doing pure ALU work cannot
+   affect other cores, and long think times would otherwise flood the
+   event queue.  Yields happen at memory operations. *)
+
+(* ---------- Store buffer helpers ---------- *)
+
+let sb_trim t = t.sb <- List.filter (fun c -> c > t.cursor) t.sb
+
+let sb_reserve t =
+  sb_trim t;
+  if List.length t.sb >= t.cfg.sb_size then begin
+    let earliest = List.fold_left min max_int t.sb in
+    if earliest > t.cursor then t.cursor <- earliest;
+    sb_trim t
+  end
+
+let word addr = addr lsr 3
+
+let fwd_add t addr v =
+  let w = word addr in
+  match Hashtbl.find_opt t.fwd w with
+  | Some (_, n) -> Hashtbl.replace t.fwd w (v, n + 1)
+  | None -> Hashtbl.replace t.fwd w (v, 1)
+
+let fwd_remove t addr =
+  let w = word addr in
+  match Hashtbl.find_opt t.fwd w with
+  | Some (_, 1) -> Hashtbl.remove t.fwd w
+  | Some (v, n) -> Hashtbl.replace t.fwd w (v, n - 1)
+  | None -> ()
+
+let fwd_lookup t addr =
+  match Hashtbl.find_opt t.fwd (word addr) with Some (v, _) -> Some v | None -> None
+
+(* ---------- Loads ---------- *)
+
+let finished_token v at = { completed = true; v; complete_at = at; waiter = None }
+
+let note_line_load t addr completion =
+  let ln = addr lsr 6 in
+  match Hashtbl.find_opt t.line_load_until ln with
+  | Some prev when prev >= completion -> ()
+  | _ -> Hashtbl.replace t.line_load_until ln completion
+
+let line_load_gate t addr =
+  match Hashtbl.find_opt t.line_load_until (addr lsr 6) with Some x -> x | None -> 0
+
+let load t addr =
+  t.n_loads <- t.n_loads + 1;
+  maybe_yield t;
+  let t_issue = max t.cursor t.load_gate in
+  match fwd_lookup t addr with
+  | Some v ->
+    (* Store-to-load forwarding out of the store buffer. *)
+    let completion = t_issue + t.cfg.lat.l1_hit in
+    push_op t 1 completion;
+    t.last_load_complete <- max t.last_load_complete completion;
+    note_line_load t addr completion;
+    finished_token v completion
+  | None ->
+    let a = Memsys.read t.memory ~now:t_issue ~core:t.id ~addr in
+    let completion = t_issue + a.latency in
+    if a.cross_node then t.cross_load_until <- max t.cross_load_until completion;
+    t.last_load_complete <- max t.last_load_complete completion;
+    note_line_load t addr completion;
+    push_op t 1 completion;
+    trace t ~kind:"load" ~name:(Printf.sprintf "ld 0x%x" addr) ~start_cycle:t_issue
+      ~duration:a.latency;
+    if a.hit && a.latency <= t.cfg.lat.l1_hit && completion <= Event_queue.now t.q + t.cfg.lat.l1_hit
+    then
+      (* L1 hits whose completion is (essentially) now sample
+         synchronously — no commit can intervene — which keeps polling
+         loops cheap to simulate.  Hits scheduled in this core's future
+         (e.g. behind a load gate while the thread runs ahead of global
+         time) must go through the event queue so they observe stores
+         committed in between. *)
+      finished_token (Memsys.load_value t.memory ~addr) completion
+    else begin
+      let tok = { completed = false; v = 0L; complete_at = completion; waiter = None } in
+      Event_queue.schedule t.q ~at:completion (fun () ->
+          tok.v <- Memsys.load_value t.memory ~addr;
+          tok.completed <- true;
+          match tok.waiter with
+          | Some w ->
+            tok.waiter <- None;
+            w ()
+          | None -> ());
+      tok
+    end
+
+let await t tok =
+  if not tok.completed then
+    Effect.perform (Suspend (fun resume -> tok.waiter <- Some resume));
+  if tok.complete_at > t.cursor then t.cursor <- tok.complete_at;
+  tok.v
+
+let value tok =
+  if not tok.completed then invalid_arg "Core.value: token still in flight";
+  tok.v
+
+(* ---------- Stores ---------- *)
+
+let store_common t addr v ~drain_start ~extra =
+  let a = Memsys.write_begin t.memory ~now:drain_start ~core:t.id ~addr in
+  let completion = drain_start + a.latency + extra in
+  if extra > 0 then Memsys.extend_pending t.memory ~core:t.id ~addr ~until:completion;
+  if a.cross_node then t.cross_store_until <- max t.cross_store_until completion;
+  t.last_store_complete <- max t.last_store_complete completion;
+  t.sb <- completion :: t.sb;
+  fwd_add t addr v;
+  (* The store instruction itself retires once buffered. *)
+  push_op t 1 (t.cursor + 1);
+  trace t ~kind:"store" ~name:(Printf.sprintf "st 0x%x" addr) ~start_cycle:drain_start
+    ~duration:(completion - drain_start);
+  let core_id = t.id in
+  Event_queue.schedule t.q ~at:completion (fun () ->
+      fwd_remove t addr;
+      Memsys.write_finish t.memory ~now:completion ~core:core_id ~addr;
+      Memsys.commit_store t.memory ~addr v)
+
+let store t addr v =
+  t.n_stores <- t.n_stores + 1;
+  maybe_yield t;
+  sb_reserve t;
+  (* po-loc: may not commit before earlier same-line loads complete *)
+  let drain_start = max (max t.cursor t.sb_gate) (line_load_gate t addr) in
+  store_common t addr v ~drain_start ~extra:0
+
+let stlr t addr v =
+  t.n_stores <- t.n_stores + 1;
+  maybe_yield t;
+  sb_reserve t;
+  (* Release: all prior loads and stores must be observable before the
+     released store commits. *)
+  let drain_start =
+    max
+      (max (max t.cursor t.sb_gate) (line_load_gate t addr))
+      (max t.last_load_complete t.last_store_complete)
+  in
+  store_common t addr v ~drain_start ~extra:t.cfg.stlr_extra
+
+(* ---------- Load-acquire ---------- *)
+
+let ldar t addr =
+  let tok = load t addr in
+  (* Subsequent memory accesses held until the acquire completes. *)
+  t.load_gate <- max t.load_gate tok.complete_at;
+  t.sb_gate <- max t.sb_gate tok.complete_at;
+  tok
+
+(* ---------- Barriers ---------- *)
+
+(* Response time of a DMB's ACE memory barrier transaction: it reaches
+   the inner bi-section boundary only after the outstanding snoop
+   transactions (pending drains / in-flight loads) have finished — so
+   cross-node snoops inflate it (Observation 5) — but when nothing
+   relevant is outstanding the transaction terminates internally. *)
+let dmb_response t resp_base =
+  if resp_base <= t.cursor then t.cursor + t.cfg.dmb_min
+  else resp_base + t.cfg.lat.bisection_rt
+
+let barrier t (b : Barrier.t) =
+  t.n_barriers <- t.n_barriers + 1;
+  maybe_yield t;
+  let trace_start = t.cursor in
+  let finish () =
+    trace t ~kind:"barrier" ~name:(Barrier.to_string b) ~start_cycle:trace_start
+      ~duration:(max 1 (max t.load_gate t.sb_gate - trace_start))
+  in
+  (match b with
+  | Dmb opt ->
+    let waits_loads = opt <> Barrier.St and waits_stores = opt <> Barrier.Ld in
+    let resp_base =
+      max
+        (if waits_loads then t.last_load_complete else 0)
+        (if waits_stores then t.last_store_complete else 0)
+    in
+    let resp =
+      match opt with
+      | Barrier.Ld ->
+        (* Resolved core-locally: the core knows when loads finish. *)
+        if resp_base <= t.cursor then t.cursor + t.cfg.dmb_min else resp_base
+      | Barrier.Full | Barrier.St -> dmb_response t resp_base
+    in
+    (match opt with
+    | Barrier.Full ->
+      t.load_gate <- max t.load_gate resp;
+      t.sb_gate <- max t.sb_gate resp;
+      (* DMB full occupies the in-flight window until its response:
+         long waits saturate the ROB and stall independent work. *)
+      push_op t 1 resp
+    | Barrier.St ->
+      t.sb_gate <- max t.sb_gate resp;
+      (* A more radical implementation: retires immediately, leaving
+         only an ordering token in the store buffer. *)
+      push_op t 1 (t.cursor + 1)
+    | Barrier.Ld ->
+      t.load_gate <- max t.load_gate resp;
+      t.sb_gate <- max t.sb_gate resp;
+      push_op t 1 resp)
+  | Dsb opt ->
+    let resp_base =
+      max
+        (if opt <> Barrier.St then t.last_load_complete else 0)
+        (if opt <> Barrier.Ld then t.last_store_complete else 0)
+    in
+    (* The synchronization barrier transaction always travels to the
+       inner domain boundary and blocks every subsequent instruction. *)
+    let resp = max t.cursor resp_base + t.cfg.lat.domain_rt in
+    t.cursor <- resp;
+    t.load_gate <- max t.load_gate resp;
+    t.sb_gate <- max t.sb_gate resp;
+    push_op t 1 resp
+  | Isb ->
+    (* Pipeline flush: refetch after every prior instruction retires. *)
+    let resp = max t.cursor t.retire_wm + t.cfg.isb_cost in
+    t.cursor <- resp;
+    push_op t 1 resp);
+  finish ()
+
+(* ---------- Atomics ---------- *)
+
+let rmw t ?(acq = false) ?(rel = false) addr f =
+  t.n_rmws <- t.n_rmws + 1;
+  maybe_yield t;
+  let start = max (max t.cursor t.load_gate) (line_load_gate t addr) in
+  let start =
+    if rel then max start (max t.last_load_complete t.last_store_complete) else start
+  in
+  let a = Memsys.rmw t.memory ~now:start ~core:t.id ~addr in
+  let completion = start + a.latency in
+  if a.cross_node then begin
+    t.cross_load_until <- max t.cross_load_until completion;
+    t.cross_store_until <- max t.cross_store_until completion
+  end;
+  t.last_load_complete <- max t.last_load_complete completion;
+  t.last_store_complete <- max t.last_store_complete completion;
+  if acq then begin
+    t.load_gate <- max t.load_gate completion;
+    t.sb_gate <- max t.sb_gate completion
+  end;
+  trace t ~kind:"rmw" ~name:(Printf.sprintf "rmw 0x%x" addr) ~start_cycle:start
+    ~duration:a.latency;
+  push_op t 1 completion;
+  let tok = { completed = false; v = 0L; complete_at = completion; waiter = None } in
+  Event_queue.schedule t.q ~at:completion (fun () ->
+      let old = Memsys.load_value t.memory ~addr in
+      Memsys.commit_store t.memory ~addr (f old);
+      tok.v <- old;
+      tok.completed <- true;
+      match tok.waiter with
+      | Some w ->
+        tok.waiter <- None;
+        w ()
+      | None -> ());
+  tok
+
+let cas t ?acq ?rel addr ~expected ~desired =
+  rmw t ?acq ?rel addr (fun old -> if Int64.equal old expected then desired else old)
+
+let fetch_add t ?acq ?rel addr delta = rmw t ?acq ?rel addr (fun old -> Int64.add old delta)
+
+(* ---------- Spinning ---------- *)
+
+let rec spin_until t addr pred =
+  t.n_spins <- t.n_spins + 1;
+  let tok = load t addr in
+  let v = await t tok in
+  if pred v then v
+  else begin
+    (* Sleep until any store commits to the line, then poll again. *)
+    Effect.perform (Suspend (fun resume -> Memsys.watch t.memory ~addr resume));
+    sync_to t (Event_queue.now t.q);
+    spin_until t addr pred
+  end
+
+(* Prepare-to-wait: [check] may suspend internally (it awaits loads), so
+   a store could commit between its sampling and a later watch
+   registration — registering the watch first closes that lost-wakeup
+   window.  A watch left over from a successful poll only touches this
+   round's refs, which is harmless. *)
+let rec spin_poll t addr check =
+  t.n_spins <- t.n_spins + 1;
+  let fired_early = ref false in
+  let parked = ref None in
+  Memsys.watch t.memory ~addr (fun () ->
+      match !parked with
+      | Some resume ->
+        parked := None;
+        resume ()
+      | None -> fired_early := true);
+  match check () with
+  | Some v -> v
+  | None ->
+    if not !fired_early then
+      Effect.perform (Suspend (fun resume -> parked := Some resume));
+    sync_to t (Event_queue.now t.q);
+    spin_poll t addr check
+
+let pause t n =
+  if n < 0 then invalid_arg "Core.pause: negative duration";
+  t.cursor <- t.cursor + n

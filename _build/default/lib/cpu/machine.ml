@@ -1,0 +1,119 @@
+module Event_queue = Armb_sim.Event_queue
+module Memsys = Armb_mem.Memsys
+module Topology = Armb_mem.Topology
+
+type status = Completed | Deadlock of int list | Cycle_limit
+
+exception Simulation_error of string
+
+type thread = { core : Core.t; body : Core.t -> unit; mutable finished : bool }
+
+type t = {
+  cfg : Config.t;
+  q : Event_queue.t;
+  memory : Memsys.t;
+  threads : (int, thread) Hashtbl.t;
+  tracer : (Trace.span -> unit) option;
+  mutable next_line : int;
+  mutable unfinished : int;
+}
+
+let create ?tracer cfg =
+  Config.validate cfg;
+  {
+    cfg;
+    q = Event_queue.create ();
+    memory = Memsys.create ~topo:cfg.topo ~lat:cfg.lat;
+    threads = Hashtbl.create 16;
+    tracer;
+    next_line = 0x1000;
+    unfinished = 0;
+  }
+
+let config t = t.cfg
+let mem t = t.memory
+let queue t = t.q
+
+let alloc_line t =
+  let a = t.next_line in
+  t.next_line <- t.next_line + 64;
+  a
+
+let alloc_lines t n =
+  if n <= 0 then invalid_arg "Machine.alloc_lines";
+  let a = t.next_line in
+  t.next_line <- t.next_line + (64 * n);
+  a
+
+let spawn t ~core body =
+  if core < 0 || core >= Topology.num_cores t.cfg.topo then
+    raise (Simulation_error (Printf.sprintf "spawn: core %d out of range" core));
+  if Hashtbl.mem t.threads core then
+    raise (Simulation_error (Printf.sprintf "spawn: core %d already has a thread" core));
+  let c = Core.make ?tracer:t.tracer ~id:core ~cfg:t.cfg ~queue:t.q ~mem:t.memory () in
+  Hashtbl.add t.threads core { core = c; body; finished = false };
+  t.unfinished <- t.unfinished + 1
+
+let core t id =
+  match Hashtbl.find_opt t.threads id with
+  | Some th -> th.core
+  | None -> raise Not_found
+
+(* Run a thread body under the suspension handler.  The body executes
+   synchronously until it performs Suspend; the continuation is then
+   parked wherever the suspender put it (a token waiter or a line
+   watch) and control returns here. *)
+let start t th =
+  let open Effect.Deep in
+  match_with th.body th.core
+    {
+      retc =
+        (fun () ->
+          th.finished <- true;
+          t.unfinished <- t.unfinished - 1);
+      exnc =
+        (fun e ->
+          let bt = Printexc.get_backtrace () in
+          raise
+            (Simulation_error
+               (Printf.sprintf "thread on core %d raised %s\n%s" (Core.id th.core)
+                  (Printexc.to_string e) bt)));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Core.Suspend register ->
+            Some
+              (fun (k : (a, unit) continuation) -> register (fun () -> continue k ()))
+          | _ -> None);
+    }
+
+let run ?max_cycles t =
+  let threads = Hashtbl.fold (fun _ th acc -> th :: acc) t.threads [] in
+  let threads = List.sort (fun a b -> compare (Core.id a.core) (Core.id b.core)) threads in
+  List.iter (fun th -> Event_queue.schedule t.q ~at:0 (fun () -> start t th)) threads;
+  (match max_cycles with
+  | Some m -> Event_queue.run ~until:m t.q
+  | None -> Event_queue.run t.q);
+  if t.unfinished = 0 then Completed
+  else if Event_queue.pending t.q > 0 then Cycle_limit
+  else begin
+    let blocked =
+      Hashtbl.fold (fun id th acc -> if th.finished then acc else id :: acc) t.threads []
+    in
+    Deadlock (List.sort compare blocked)
+  end
+
+let run_exn ?max_cycles t =
+  match run ?max_cycles t with
+  | Completed -> ()
+  | Deadlock ids ->
+    raise
+      (Simulation_error
+         (Printf.sprintf "deadlock: cores [%s] blocked with empty event queue"
+            (String.concat "; " (List.map string_of_int ids))))
+  | Cycle_limit -> raise (Simulation_error "cycle limit reached")
+
+let elapsed t = Hashtbl.fold (fun _ th acc -> max acc (Core.cursor th.core)) t.threads 0
+
+let throughput t ~ops =
+  Armb_sim.Stats.throughput_per_sec ~ops ~cycles:(elapsed t) ~freq_ghz:t.cfg.freq_ghz

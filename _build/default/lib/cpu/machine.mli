@@ -1,0 +1,47 @@
+(** Multi-core machine: owns the event queue, the memory system and the
+    simulated threads, and drives them to completion. *)
+
+type t
+
+type status =
+  | Completed  (** every spawned thread returned *)
+  | Deadlock of int list  (** ids of cores still blocked when the event queue drained *)
+  | Cycle_limit  (** [max_cycles] reached first *)
+
+exception Simulation_error of string
+
+val create : ?tracer:(Trace.span -> unit) -> Config.t -> t
+(** [tracer] receives a span per simulated micro-operation — see
+    {!Trace} for collection and Chrome-trace export. *)
+
+val config : t -> Config.t
+val mem : t -> Armb_mem.Memsys.t
+val queue : t -> Armb_sim.Event_queue.t
+
+val alloc_line : t -> int
+(** Bump-allocate a fresh cache-line-aligned address (64-byte spacing),
+    so unrelated shared variables never false-share. *)
+
+val alloc_lines : t -> int -> int
+(** Allocate [n] consecutive lines; returns the first address. *)
+
+val spawn : t -> core:int -> (Core.t -> unit) -> unit
+(** Bind a simulated thread to a core.  At most one thread per core.
+    Threads begin executing when [run] is called. *)
+
+val core : t -> int -> Core.t
+(** The core state (for reading cursors/counters after a run).
+    Raises [Not_found] if nothing was spawned on that core. *)
+
+val run : ?max_cycles:int -> t -> status
+(** Execute all spawned threads to completion. *)
+
+val run_exn : ?max_cycles:int -> t -> unit
+(** Like [run] but raises [Simulation_error] unless the result is
+    [Completed]. *)
+
+val elapsed : t -> int
+(** Max cursor over all cores after a run — the makespan in cycles. *)
+
+val throughput : t -> ops:int -> float
+(** [ops] per second given the makespan and the platform frequency. *)

@@ -1,0 +1,1 @@
+lib/litmus/catalogue.mli: Lang

@@ -1,0 +1,1 @@
+lib/litmus/enumerate.ml: Array Hashtbl Lang List Printf String

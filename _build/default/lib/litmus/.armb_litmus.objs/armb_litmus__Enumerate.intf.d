@@ -1,0 +1,1 @@
+lib/litmus/enumerate.mli: Lang

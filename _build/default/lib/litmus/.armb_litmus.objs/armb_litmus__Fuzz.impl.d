@@ -1,0 +1,1 @@
+lib/litmus/fuzz.ml: Armb_sim Enumerate Format Int64 Lang List Printf Sim_runner

@@ -1,0 +1,1 @@
+lib/litmus/fuzz.mli: Armb_sim Format Lang

@@ -1,0 +1,1 @@
+lib/litmus/lang.ml: Format Hashtbl Int64 List

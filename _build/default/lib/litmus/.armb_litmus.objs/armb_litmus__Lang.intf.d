@@ -1,0 +1,1 @@
+lib/litmus/lang.mli: Format

@@ -1,0 +1,1 @@
+lib/litmus/sim_runner.ml: Armb_cpu Armb_mem Armb_platform Armb_sim Enumerate Format Hashtbl Int64 Lang List Option Printf

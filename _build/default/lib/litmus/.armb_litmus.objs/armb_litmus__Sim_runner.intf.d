@@ -1,0 +1,1 @@
+lib/litmus/sim_runner.mli: Armb_cpu Format Lang

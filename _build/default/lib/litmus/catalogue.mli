@@ -1,0 +1,58 @@
+(** Standard litmus tests, including the paper's Table 1 message-passing
+    example in its unfenced and correctly-fenced variants. *)
+
+val mp : Lang.test
+(** Table 1: message passing with no ordering.  TSO forbids the stale
+    read; WMM allows it. *)
+
+val mp_dmb : Lang.test
+(** MP with [DMB st] in the producer and [DMB ld] in the consumer:
+    forbidden everywhere. *)
+
+val mp_acq_rel : Lang.test
+(** MP with STLR/LDAR. *)
+
+val mp_addr_dep : Lang.test
+(** MP with an address dependency on the consumer side and [DMB st] in
+    the producer. *)
+
+val sb : Lang.test
+(** Store buffering: both loads may miss both stores — allowed under
+    TSO {e and} WMM. *)
+
+val sb_dmb : Lang.test
+(** SB with full barriers: forbidden. *)
+
+val lb : Lang.test
+(** Load buffering: allowed under WMM, forbidden under TSO. *)
+
+val lb_data_dep : Lang.test
+(** LB with data dependencies: forbidden. *)
+
+val wrc : Lang.test
+(** Write-to-read causality with dependencies: forbidden on
+    multi-copy-atomic ARMv8 (and under TSO). *)
+
+val coherence : Lang.test
+(** Same-location accesses stay ordered: the out-of-order read is
+    forbidden under every model. *)
+
+val s_test : Lang.test
+(** S: write-after-write to one location vs a dependent store —
+    forbidden with the data dependency under both models. *)
+
+val r_test : Lang.test
+(** R: store-store vs store-load; allowed under WMM without fences. *)
+
+val two_plus_two_w : Lang.test
+(** 2+2W: both locations ending with the other thread's first write —
+    allowed under WMM, forbidden with DMB st on both sides. *)
+
+val two_plus_two_w_dmb : Lang.test
+
+val iriw_addr : Lang.test
+(** IRIW with address dependencies on both readers: forbidden on
+    multi-copy-atomic ARMv8 — the property Pulte et al. formalized and
+    the paper's footnote 2 relies on. *)
+
+val all : Lang.test list

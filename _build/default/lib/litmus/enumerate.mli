@@ -1,0 +1,32 @@
+(** Exhaustive operational exploration of a litmus test's outcomes under
+    either a weak ARM-style model or TSO.
+
+    The model is a multi-copy-atomic "out-of-order perform" machine
+    (in the spirit of Pulte et al.'s simplified ARMv8 operational
+    model): there is one global memory; at each step any thread may
+    perform any of its not-yet-performed memory operations whose
+    program-order predecessors that {e must} stay ordered have already
+    performed.  The must-stay-ordered relation encodes coherence
+    (same-address program order), dependencies, acquire/release, and
+    fences — and, for TSO, everything except store-to-later-load.
+
+    Suitable for tests of a few instructions per thread; the state
+    space is explored with memoization. *)
+
+type model = Wmm | Tso
+
+type outcome = (string * int64) list
+(** Sorted binding list: ["thread:reg" -> value] for every register,
+    plus ["mem:var" -> value] for each shared variable's final value. *)
+
+val enumerate : model -> Lang.test -> outcome list
+(** All reachable final outcomes, sorted and de-duplicated. *)
+
+val allows : model -> Lang.test -> bool
+(** Is the test's [interesting] predicate satisfiable under the model? *)
+
+val outcome_to_string : outcome -> string
+
+val verify_expectations : Lang.test -> (bool * string)
+(** Check [expect_tso]/[expect_wmm] against the enumerator; returns
+    (ok, detail). *)

@@ -1,0 +1,29 @@
+(** Random litmus-test generation and differential checking.
+
+    Generates small random tests (2-3 threads, a few loads/stores/fences
+    over 2-3 locations, random dependencies and acquire/release
+    attributes) and checks the structural soundness property that ties
+    this library together:
+
+    {e every outcome the timing simulator exhibits is allowed by the
+    exhaustive WMM operational model.}
+
+    A violation would mean the CPU/coherence model reorders something
+    the architecture forbids — exactly the class of bug this fuzzer
+    exists to catch. *)
+
+val generate : Armb_sim.Rng.t -> Lang.test
+(** One random well-formed test. *)
+
+type report = {
+  tests_run : int;
+  sim_outcomes_checked : int;
+  violations : (Lang.test * string) list;
+      (** test and the offending outcome rendering *)
+}
+
+val run :
+  ?tests:int -> ?trials_per_test:int -> ?seed:int -> unit -> report
+(** Differential fuzz: defaults 50 tests x 60 trials. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,78 @@
+type reg = string
+
+type value = Const of int64 | Reg of reg
+
+type fence = F_dmb_full | F_dmb_st | F_dmb_ld | F_dsb
+
+type instr =
+  | Load of { var : string; reg : reg; acquire : bool; addr_dep : reg option }
+  | Store of { var : string; v : value; release : bool; addr_dep : reg option }
+  | Fence of fence
+
+type thread = instr list
+
+type test = {
+  name : string;
+  description : string;
+  init : (string * int64) list;
+  threads : thread list;
+  interesting : (string -> int64) -> bool;
+  expect_tso : bool;
+  expect_wmm : bool;
+}
+
+let ld ?(acquire = false) ?addr_dep var reg = Load { var; reg; acquire; addr_dep }
+
+let st ?(release = false) ?addr_dep var v = Store { var; v = Const v; release; addr_dep }
+
+let st_reg ?(release = false) var r = Store { var; v = Reg r; release; addr_dep = None }
+
+let fence f = Fence f
+
+let var_of = function
+  | Load { var; _ } | Store { var; _ } -> Some var
+  | Fence _ -> None
+
+let vars t =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun (v, _) -> Hashtbl.replace tbl v ()) t.init;
+  List.iter
+    (fun th ->
+      List.iter
+        (fun i -> match var_of i with Some v -> Hashtbl.replace tbl v () | None -> ())
+        th)
+    t.threads;
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])
+
+let writes_reg = function
+  | Load { reg; _ } -> Some reg
+  | Store _ | Fence _ -> None
+
+let reads_regs = function
+  | Load { addr_dep; _ } -> ( match addr_dep with Some r -> [ r ] | None -> [])
+  | Store { v; addr_dep; _ } ->
+    let l = match v with Reg r -> [ r ] | Const _ -> [] in
+    (match addr_dep with Some r -> r :: l | None -> l)
+  | Fence _ -> []
+
+let regs_of_thread th = List.filter_map writes_reg th
+
+let fence_to_string = function
+  | F_dmb_full -> "dmb"
+  | F_dmb_st -> "dmb st"
+  | F_dmb_ld -> "dmb ld"
+  | F_dsb -> "dsb"
+
+let pp_instr ppf = function
+  | Load { var; reg; acquire; addr_dep } ->
+    Format.fprintf ppf "%s := %s%s%s" reg
+      (if acquire then "ldar " else "ldr ")
+      var
+      (match addr_dep with Some r -> " [addr dep " ^ r ^ "]" | None -> "")
+  | Store { var; v; release; addr_dep } ->
+    Format.fprintf ppf "%s%s := %s%s"
+      (if release then "stlr " else "str ")
+      var
+      (match v with Const c -> Int64.to_string c | Reg r -> r)
+      (match addr_dep with Some r -> " [addr dep " ^ r ^ "]" | None -> "")
+  | Fence f -> Format.fprintf ppf "%s" (fence_to_string f)

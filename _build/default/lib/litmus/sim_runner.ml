@@ -1,0 +1,126 @@
+module Core = Armb_cpu.Core
+module Machine = Armb_cpu.Machine
+module Memsys = Armb_mem.Memsys
+module Rng = Armb_sim.Rng
+
+type result = {
+  outcomes : (string * int) list;
+  interesting_witnessed : bool;
+  trials : int;
+}
+
+(* Compile one litmus thread to a simulator program.  Loads are issued
+   eagerly and awaited lazily (at first use of the register, or at the
+   end), which exposes load-load reordering to the timing model. *)
+let compile_thread (th : Lang.thread) ~addr_of ~start_pause ~padding ~record (c : Core.t) =
+  Core.pause c start_pause;
+  let toks : (string, Core.token) Hashtbl.t = Hashtbl.create 8 in
+  let reg_value r =
+    match Hashtbl.find_opt toks r with
+    | Some tok -> Core.await c tok
+    | None -> 0L
+  in
+  List.iteri
+    (fun idx instr ->
+      if idx > 0 && padding > 0 then Core.compute c padding;
+      match instr with
+      | Lang.Load { var; reg; acquire; addr_dep } ->
+        let addr =
+          match addr_dep with
+          | Some r ->
+            let v = reg_value r in
+            Core.compute c 1;
+            addr_of var + Int64.to_int (Int64.logxor v v)
+          | None -> addr_of var
+        in
+        let tok = if acquire then Core.ldar c addr else Core.load c addr in
+        Hashtbl.replace toks reg tok
+      | Lang.Store { var; v; release; addr_dep } ->
+        let addr =
+          match addr_dep with
+          | Some r ->
+            let dep = reg_value r in
+            Core.compute c 1;
+            addr_of var + Int64.to_int (Int64.logxor dep dep)
+          | None -> addr_of var
+        in
+        let value = match v with Lang.Const k -> k | Lang.Reg r -> reg_value r in
+        if release then Core.stlr c addr value else Core.store c addr value
+      | Lang.Fence f ->
+        let b =
+          match f with
+          | Lang.F_dmb_full -> Armb_cpu.Barrier.Dmb Full
+          | Lang.F_dmb_st -> Armb_cpu.Barrier.Dmb St
+          | Lang.F_dmb_ld -> Armb_cpu.Barrier.Dmb Ld
+          | Lang.F_dsb -> Armb_cpu.Barrier.Dsb Full
+        in
+        Core.barrier c b)
+    th;
+  (* Resolve every register at the end of the thread. *)
+  Hashtbl.iter (fun r tok -> record r (Core.await c tok)) toks
+
+let run ?(cfg = Armb_platform.Platform.kunpeng916) ?(trials = 200) ?(seed = 42)
+    (t : Lang.test) =
+  let rng = Rng.create seed in
+  let nthreads = List.length t.threads in
+  let ncores = Armb_mem.Topology.num_cores cfg.topo in
+  if nthreads > ncores then invalid_arg "Sim_runner.run: more threads than cores";
+  let outcomes = Hashtbl.create 16 in
+  let witnessed = ref false in
+  for _trial = 1 to trials do
+    let m = Machine.create cfg in
+    let mem = Machine.mem m in
+    let vars = Lang.vars t in
+    let addrs = List.map (fun v -> (v, Machine.alloc_line m)) vars in
+    let addr_of v = List.assoc v addrs in
+    (* Initial values + randomized initial line placement: pre-touch
+       each variable's line from a random core so that some stores hit
+       while others miss — the timing asymmetry that makes reorderings
+       observable. *)
+    (* Spread threads over distant cores when possible. *)
+    let core_of i = if nthreads <= 1 then 0 else i * (ncores / nthreads) in
+    List.iter
+      (fun (v, a) ->
+        Memsys.commit_store mem ~addr:a (match List.assoc_opt v t.init with Some x -> x | None -> 0L);
+        (* Give each line to one of the participating cores (or leave it
+           uncached) so that some accesses hit while others miss — the
+           timing asymmetry that exposes reorderings. *)
+        let pick = Rng.int rng (nthreads + 1) in
+        if pick < nthreads then Memsys.place mem ~core:(core_of pick) ~addr:a)
+      addrs;
+    let regs : (string, int64) Hashtbl.t = Hashtbl.create 8 in
+    List.iteri
+      (fun i th ->
+        let start_pause = Rng.int rng 40 in
+        let padding = Rng.int rng 4 in
+        let record r v = Hashtbl.replace regs (Printf.sprintf "%d:%s" i r) v in
+        Machine.spawn m ~core:(core_of i)
+          (compile_thread th ~addr_of ~start_pause ~padding ~record))
+      t.threads;
+    Machine.run_exn m;
+    (* final memory joins the outcome as "mem:<var>" bindings *)
+    List.iter
+      (fun (v, a) -> Hashtbl.replace regs ("mem:" ^ v) (Memsys.load_value mem ~addr:a))
+      addrs;
+    let lookup r = match Hashtbl.find_opt regs r with Some v -> v | None -> 0L in
+    let rendering =
+      let all = Hashtbl.fold (fun k v acc -> (k, v) :: acc) regs [] in
+      Enumerate.outcome_to_string (List.sort compare all)
+    in
+    Hashtbl.replace outcomes rendering
+      (1 + Option.value ~default:0 (Hashtbl.find_opt outcomes rendering));
+    if t.interesting lookup then witnessed := true
+  done;
+  {
+    outcomes = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) outcomes []);
+    interesting_witnessed = !witnessed;
+    trials;
+  }
+
+let consistent_with_model r (t : Lang.test) = (not r.interesting_witnessed) || t.expect_wmm
+
+let pp_result ppf r =
+  Format.fprintf ppf "@[<v>%d trials, interesting witnessed: %b@," r.trials
+    r.interesting_witnessed;
+  List.iter (fun (o, n) -> Format.fprintf ppf "  %6d  %s@," n o) r.outcomes;
+  Format.fprintf ppf "@]"

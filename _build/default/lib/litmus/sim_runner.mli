@@ -1,0 +1,34 @@
+(** Run litmus tests on the timing simulator.
+
+    Unlike the exhaustive {!Enumerate}, this witnesses weak behaviours
+    {e dynamically}: reorderings happen (or not) because of store-buffer
+    drain timing, cache-line placement and issue overlap in the CPU
+    model.  Each trial randomizes initial cache-line placement, thread
+    start offsets and inter-instruction padding, and the harness counts
+    how often each outcome appears.
+
+    A modelling note: the runner issues both loads of a thread before
+    awaiting either, so load-load reordering is visible; it cannot
+    speculate past control flow (no branch prediction), so
+    control-dependency-based tests are exercised only in their ordered
+    form. *)
+
+type result = {
+  outcomes : (string * int) list;  (** outcome rendering -> occurrence count *)
+  interesting_witnessed : bool;
+  trials : int;
+}
+
+val run :
+  ?cfg:Armb_cpu.Config.t ->
+  ?trials:int ->
+  ?seed:int ->
+  Lang.test ->
+  result
+(** Defaults: kunpeng916, 200 trials, seed 42. *)
+
+val consistent_with_model : result -> Lang.test -> bool
+(** No witnessed interesting outcome unless the weak model allows it —
+    the cross-check property between the two backends. *)
+
+val pp_result : Format.formatter -> result -> unit

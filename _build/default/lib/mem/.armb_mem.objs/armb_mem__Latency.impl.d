@@ -1,0 +1,1 @@
+lib/mem/latency.ml: Format Topology

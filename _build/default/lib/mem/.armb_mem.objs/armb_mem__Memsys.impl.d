@@ -1,0 +1,1 @@
+lib/mem/memsys.ml: Format Hashtbl Latency List Topology

@@ -1,0 +1,1 @@
+lib/mem/memsys.mli: Format Latency Topology

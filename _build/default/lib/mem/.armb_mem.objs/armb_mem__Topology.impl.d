@@ -1,0 +1,1 @@
+lib/mem/topology.ml: Array Format Fun List

@@ -1,0 +1,21 @@
+type t = {
+  l1_hit : int;
+  same_cluster : int;
+  same_node : int;
+  cross_node : int;
+  dram : int;
+  bisection_rt : int;
+  domain_rt : int;
+  rmw_extra : int;
+}
+
+let transfer t = function
+  | Topology.Same_core -> t.l1_hit
+  | Topology.Same_cluster -> t.same_cluster
+  | Topology.Same_node -> t.same_node
+  | Topology.Cross_node -> t.cross_node
+
+let pp ppf t =
+  Format.fprintf ppf
+    "l1=%d cluster=%d node=%d xnode=%d dram=%d bisect=%d domain=%d rmw+=%d" t.l1_hit
+    t.same_cluster t.same_node t.cross_node t.dram t.bisection_rt t.domain_rt t.rmw_extra

@@ -1,0 +1,25 @@
+(** Latency parameter set of a simulated platform's memory system and
+    interconnect.  All values are in core cycles. *)
+
+type t = {
+  l1_hit : int;  (** load/store hit in the local L1 *)
+  same_cluster : int;  (** cache-to-cache transfer within a cluster *)
+  same_node : int;  (** transfer across clusters of one NUMA node *)
+  cross_node : int;  (** transfer across the NUMA interconnect *)
+  dram : int;  (** line present in no cache *)
+  bisection_rt : int;
+      (** round trip of an ACE {e memory barrier transaction} to the
+          inner bi-section boundary (DMB when no cross-node snooping is
+          in flight) *)
+  domain_rt : int;
+      (** round trip of an ACE {e synchronization barrier transaction}
+          to the inner domain boundary (DSB always; DMB after
+          cross-node snoops) *)
+  rmw_extra : int;  (** additional cycles for atomic read-modify-write *)
+}
+
+val transfer : t -> Topology.distance -> int
+(** Cache-to-cache transfer cost for a given distance
+    ([Same_core] means hit). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,262 @@
+type access = { latency : int; cross_node : bool; hit : bool }
+
+type line = {
+  mutable owner : int; (* core holding the line exclusively, -1 if none *)
+  mutable sharers : int; (* bitmask of cores with a valid copy *)
+  mutable busy_until : int; (* serialization point for ownership changes *)
+  mutable ready_at : int;
+      (* completion time of the most recent fill/transfer: a subsequent
+         hit cannot complete before the line has actually arrived
+         (coherence of read-read) *)
+  mutable pending_writer : int; (* core with an in-flight drain, -1 if none *)
+  mutable pending_until : int; (* completion time of that drain *)
+  mutable watchers : (unit -> unit) list;
+}
+
+type counters = {
+  hits : int;
+  transfers : int;
+  cross_node_transfers : int;
+  dram_fills : int;
+  invalidations : int;
+}
+
+type t = {
+  topo : Topology.t;
+  lat : Latency.t;
+  lines : (int, line) Hashtbl.t;
+  values : (int, int64) Hashtbl.t;
+  mutable c_hits : int;
+  mutable c_transfers : int;
+  mutable c_cross : int;
+  mutable c_dram : int;
+  mutable c_inval : int;
+}
+
+let create ~topo ~lat =
+  {
+    topo;
+    lat;
+    lines = Hashtbl.create 4096;
+    values = Hashtbl.create 4096;
+    c_hits = 0;
+    c_transfers = 0;
+    c_cross = 0;
+    c_dram = 0;
+    c_inval = 0;
+  }
+
+let topology t = t.topo
+let latencies t = t.lat
+
+let line_of addr = addr lsr 6
+
+let line t addr =
+  let idx = line_of addr in
+  match Hashtbl.find_opt t.lines idx with
+  | Some l -> l
+  | None ->
+    let l =
+      {
+        owner = -1;
+        sharers = 0;
+        busy_until = 0;
+        ready_at = 0;
+        pending_writer = -1;
+        pending_until = 0;
+        watchers = [];
+      }
+    in
+    Hashtbl.add t.lines idx l;
+    l
+
+let bit c = 1 lsl c
+
+(* Fold over the set bits of a sharer mask. *)
+let iter_mask mask f =
+  let m = ref mask and c = ref 0 in
+  while !m <> 0 do
+    if !m land 1 = 1 then f !c;
+    incr c;
+    m := !m lsr 1
+  done
+
+let worst_distance t core mask =
+  (* The requester must wait for the farthest snoop response. *)
+  let worst = ref Topology.Same_core in
+  let rank = function
+    | Topology.Same_core -> 0
+    | Topology.Same_cluster -> 1
+    | Topology.Same_node -> 2
+    | Topology.Cross_node -> 3
+  in
+  iter_mask mask (fun c ->
+      if c <> core then
+        let d = Topology.distance t.topo core c in
+        if rank d > rank !worst then worst := d);
+  !worst
+
+(* Serialize ownership-changing operations on a contended line. *)
+let serialize l ~now lat_cycles =
+  let start = max now l.busy_until in
+  l.busy_until <- start + lat_cycles;
+  start - now + lat_cycles
+
+let read t ~now ~core ~addr =
+  let l = line t addr in
+  if l.sharers land bit core <> 0 then begin
+    t.c_hits <- t.c_hits + 1;
+    { latency = max t.lat.l1_hit (l.ready_at - now); cross_node = false; hit = true }
+  end
+  else if l.owner >= 0 && l.owner <> core then begin
+    let d = Topology.distance t.topo core l.owner in
+    let xfer = Latency.transfer t.lat d in
+    t.c_transfers <- t.c_transfers + 1;
+    let cross = d = Topology.Cross_node in
+    if cross then t.c_cross <- t.c_cross + 1;
+    (* Owner downgrades to shared; reader gets a copy. *)
+    l.sharers <- bit l.owner lor bit core;
+    l.owner <- -1;
+    let latency = serialize l ~now xfer in
+    l.ready_at <- now + latency;
+    { latency; cross_node = cross; hit = false }
+  end
+  else if l.sharers <> 0 then begin
+    (* Fetch from the nearest sharer. *)
+    let best = ref Topology.Cross_node in
+    let rank = function
+      | Topology.Same_core -> 0
+      | Topology.Same_cluster -> 1
+      | Topology.Same_node -> 2
+      | Topology.Cross_node -> 3
+    in
+    iter_mask l.sharers (fun c ->
+        let d = Topology.distance t.topo core c in
+        if rank d < rank !best then best := d);
+    let xfer = Latency.transfer t.lat !best in
+    t.c_transfers <- t.c_transfers + 1;
+    let cross = !best = Topology.Cross_node in
+    if cross then t.c_cross <- t.c_cross + 1;
+    l.sharers <- l.sharers lor bit core;
+    l.ready_at <- max l.ready_at (now + xfer);
+    { latency = xfer; cross_node = cross; hit = false }
+  end
+  else begin
+    t.c_dram <- t.c_dram + 1;
+    l.sharers <- bit core;
+    l.ready_at <- max l.ready_at (now + t.lat.dram);
+    { latency = t.lat.dram; cross_node = false; hit = false }
+  end
+
+let write_latency t ~core l =
+  (* Returns (cycles, cross_node, hit) without serialization applied. *)
+  if l.owner = core then (t.lat.l1_hit, false, true)
+  else begin
+    let others = l.sharers land lnot (bit core) in
+    let others = if l.owner >= 0 then others lor bit l.owner else others in
+    if others = 0 then
+      if l.sharers land bit core <> 0 then
+        (* Upgrade from shared-alone to exclusive: local. *)
+        (t.lat.l1_hit, false, true)
+      else begin
+        t.c_dram <- t.c_dram + 1;
+        (t.lat.dram, false, false)
+      end
+    else begin
+      let d = worst_distance t core others in
+      let cycles = Latency.transfer t.lat d in
+      t.c_transfers <- t.c_transfers + 1;
+      let inval_count = ref 0 in
+      iter_mask others (fun _ -> incr inval_count);
+      t.c_inval <- t.c_inval + !inval_count;
+      let cross = d = Topology.Cross_node in
+      if cross then t.c_cross <- t.c_cross + 1;
+      (cycles, cross, false)
+    end
+  end
+
+let write_begin t ~now ~core ~addr =
+  let l = line t addr in
+  if l.pending_writer = core && l.pending_until > now then begin
+    (* Coalesce with our own in-flight drain to the same line. *)
+    t.c_hits <- t.c_hits + 1;
+    { latency = max t.lat.l1_hit (l.pending_until - now); cross_node = false; hit = true }
+  end
+  else begin
+    let cycles, cross, hit = write_latency t ~core l in
+    if hit then t.c_hits <- t.c_hits + 1;
+    let latency =
+      if hit && l.owner = core then cycles else serialize l ~now cycles
+    in
+    l.pending_writer <- core;
+    l.pending_until <- now + latency;
+    { latency; cross_node = cross; hit }
+  end
+
+(* Ownership and invalidation take effect only when the drain completes:
+   until then other cores keep reading their (old) copies, which is what
+   lets the timing model exhibit store-buffer weak behaviours. *)
+let write_finish t ~now ~core ~addr =
+  let l = line t addr in
+  l.owner <- core;
+  l.sharers <- bit core;
+  if now > l.ready_at then l.ready_at <- now;
+  if l.pending_writer = core && l.pending_until <= now then l.pending_writer <- -1
+
+let extend_pending t ~core ~addr ~until =
+  let l = line t addr in
+  if l.pending_writer = core && until > l.pending_until then l.pending_until <- until
+
+let place t ~core ~addr =
+  let l = line t addr in
+  l.owner <- core;
+  l.sharers <- bit core
+
+let rmw t ~now ~core ~addr =
+  (* Atomics claim the line for the whole operation. *)
+  let l = line t addr in
+  let cycles, cross, hit = write_latency t ~core l in
+  if hit then t.c_hits <- t.c_hits + 1;
+  let latency =
+    (if hit && l.owner = core then cycles else serialize l ~now cycles) + t.lat.rmw_extra
+  in
+  l.owner <- core;
+  l.sharers <- bit core;
+  l.ready_at <- now + latency;
+  { latency; cross_node = cross; hit = false }
+
+let load_value t ~addr =
+  match Hashtbl.find_opt t.values (addr lsr 3) with Some v -> v | None -> 0L
+
+let commit_store t ~addr v =
+  Hashtbl.replace t.values (addr lsr 3) v;
+  let l = line t addr in
+  match l.watchers with
+  | [] -> ()
+  | ws ->
+    l.watchers <- [];
+    List.iter (fun f -> f ()) (List.rev ws)
+
+let watch t ~addr f =
+  let l = line t addr in
+  l.watchers <- f :: l.watchers
+
+let counters t =
+  {
+    hits = t.c_hits;
+    transfers = t.c_transfers;
+    cross_node_transfers = t.c_cross;
+    dram_fills = t.c_dram;
+    invalidations = t.c_inval;
+  }
+
+let reset_counters t =
+  t.c_hits <- 0;
+  t.c_transfers <- 0;
+  t.c_cross <- 0;
+  t.c_dram <- 0;
+  t.c_inval <- 0
+
+let pp_counters ppf c =
+  Format.fprintf ppf "hits=%d transfers=%d cross-node=%d dram=%d inval=%d" c.hits c.transfers
+    c.cross_node_transfers c.dram_fills c.invalidations

@@ -1,0 +1,93 @@
+type t = {
+  num_cores : int;
+  num_clusters : int;
+  num_nodes : int;
+  cluster_of : int array;
+  node_of : int array;
+}
+
+type distance = Same_core | Same_cluster | Same_node | Cross_node
+
+let max_cores = 62
+
+let build node_of cluster_of =
+  let num_cores = Array.length node_of in
+  if num_cores = 0 then invalid_arg "Topology: no cores";
+  if num_cores > max_cores then invalid_arg "Topology: too many cores";
+  {
+    num_cores;
+    num_clusters = 1 + Array.fold_left max 0 cluster_of;
+    num_nodes = 1 + Array.fold_left max 0 node_of;
+    cluster_of;
+    node_of;
+  }
+
+let make ~nodes ~clusters_per_node ~cores_per_cluster =
+  if nodes <= 0 || clusters_per_node <= 0 || cores_per_cluster <= 0 then
+    invalid_arg "Topology.make: non-positive dimension";
+  let total = nodes * clusters_per_node * cores_per_cluster in
+  let node_of = Array.make total 0 and cluster_of = Array.make total 0 in
+  for c = 0 to total - 1 do
+    let cluster = c / cores_per_cluster in
+    cluster_of.(c) <- cluster;
+    node_of.(c) <- cluster / clusters_per_node
+  done;
+  build node_of cluster_of
+
+let heterogeneous ~nodes ~cluster_sizes =
+  if nodes <= 0 || cluster_sizes = [] then invalid_arg "Topology.heterogeneous";
+  let per_node = List.fold_left ( + ) 0 cluster_sizes in
+  let clusters_per_node = List.length cluster_sizes in
+  let total = nodes * per_node in
+  let node_of = Array.make total 0 and cluster_of = Array.make total 0 in
+  let core = ref 0 in
+  for n = 0 to nodes - 1 do
+    List.iteri
+      (fun i size ->
+        for _ = 1 to size do
+          node_of.(!core) <- n;
+          cluster_of.(!core) <- (n * clusters_per_node) + i;
+          incr core
+        done)
+      cluster_sizes
+  done;
+  build node_of cluster_of
+
+let num_cores t = t.num_cores
+let num_nodes t = t.num_nodes
+let num_clusters t = t.num_clusters
+
+let check_core t c =
+  if c < 0 || c >= t.num_cores then invalid_arg "Topology: core out of range"
+
+let cluster_of t c =
+  check_core t c;
+  t.cluster_of.(c)
+
+let node_of t c =
+  check_core t c;
+  t.node_of.(c)
+
+let cores_of_node t n =
+  List.filter (fun c -> t.node_of.(c) = n) (List.init t.num_cores Fun.id)
+
+let cores_of_cluster t cl =
+  List.filter (fun c -> t.cluster_of.(c) = cl) (List.init t.num_cores Fun.id)
+
+let distance t a b =
+  check_core t a;
+  check_core t b;
+  if a = b then Same_core
+  else if t.cluster_of.(a) = t.cluster_of.(b) then Same_cluster
+  else if t.node_of.(a) = t.node_of.(b) then Same_node
+  else Cross_node
+
+let pp_distance ppf = function
+  | Same_core -> Format.pp_print_string ppf "same-core"
+  | Same_cluster -> Format.pp_print_string ppf "same-cluster"
+  | Same_node -> Format.pp_print_string ppf "same-node"
+  | Cross_node -> Format.pp_print_string ppf "cross-node"
+
+let pp ppf t =
+  Format.fprintf ppf "%d cores / %d clusters / %d NUMA nodes" t.num_cores t.num_clusters
+    t.num_nodes

@@ -1,0 +1,39 @@
+(** Machine topology: cores grouped into clusters, clusters into NUMA
+    nodes.  Mirrors the ARM example system of the paper's Figure 1: each
+    NUMA node sits behind an {e inner bi-section boundary}; the whole
+    inner-shareable domain sits behind the {e inner domain boundary}. *)
+
+type t
+
+type distance =
+  | Same_core
+  | Same_cluster
+  | Same_node  (** different cluster, same NUMA node *)
+  | Cross_node
+
+val make : nodes:int -> clusters_per_node:int -> cores_per_cluster:int -> t
+(** Regular topology. Total cores must not exceed {!max_cores}. *)
+
+val heterogeneous : nodes:int -> cluster_sizes:int list -> t
+(** One NUMA node layout with explicitly-sized clusters, replicated over
+    [nodes] nodes (for big.LITTLE parts such as Kirin 960/970 use
+    [~nodes:1 ~cluster_sizes:[4;4]]). *)
+
+val max_cores : int
+(** Upper bound on core count (sharer sets are stored as one bitmask in
+    an OCaml int). *)
+
+val num_cores : t -> int
+val num_nodes : t -> int
+val num_clusters : t -> int
+
+val cluster_of : t -> int -> int
+val node_of : t -> int -> int
+
+val cores_of_node : t -> int -> int list
+val cores_of_cluster : t -> int -> int list
+
+val distance : t -> int -> int -> distance
+
+val pp : Format.formatter -> t -> unit
+val pp_distance : Format.formatter -> distance -> unit

@@ -1,0 +1,1 @@
+lib/platform/platform.ml: Armb_cpu Armb_mem List String

@@ -1,0 +1,117 @@
+module Topology = Armb_mem.Topology
+module Latency = Armb_mem.Latency
+module Config = Armb_cpu.Config
+
+let kunpeng916 : Config.t =
+  {
+    name = "kunpeng916";
+    freq_ghz = 2.4;
+    (* 2 sockets x 32 cores; model each socket as 8 clusters of 4 (CCL
+       granularity) behind one bi-section boundary.  61 usable cores
+       would exceed the sharer-bitmask bound with 64, so we model 2x28
+       (7 clusters); benchmark placements never ask for more than 56
+       cores. *)
+    topo = Topology.make ~nodes:2 ~clusters_per_node:7 ~cores_per_cluster:4;
+    lat =
+      {
+        l1_hit = 2;
+        same_cluster = 10;
+        same_node = 10;
+        cross_node = 62;
+        dram = 90;
+        bisection_rt = 5;
+        domain_rt = 320;
+        rmw_extra = 6;
+      };
+    alu_ipc = 10;
+    rob_size = 32;
+    sb_size = 24;
+    isb_cost = 35;
+    dmb_min = 2;
+    stlr_extra = 70;
+    quantum = 64;
+  }
+
+let kirin960 : Config.t =
+  {
+    name = "kirin960";
+    freq_ghz = 2.1;
+    topo = Topology.heterogeneous ~nodes:1 ~cluster_sizes:[ 4; 4 ];
+    lat =
+      {
+        l1_hit = 2;
+        same_cluster = 7;
+        same_node = 24;
+        cross_node = 60;
+        (* unused: single node *)
+        dram = 80;
+        bisection_rt = 3;
+        domain_rt = 90;
+        rmw_extra = 5;
+      };
+    alu_ipc = 3;
+    rob_size = 24;
+    sb_size = 12;
+    isb_cost = 14;
+    dmb_min = 1;
+    stlr_extra = 0;
+    quantum = 64;
+  }
+
+let kirin970 : Config.t =
+  {
+    kirin960 with
+    name = "kirin970";
+    freq_ghz = 2.36;
+    lat = { kirin960.lat with same_cluster = 6; domain_rt = 80 };
+  }
+
+let raspberrypi4 : Config.t =
+  {
+    name = "raspberrypi4";
+    freq_ghz = 1.5;
+    topo = Topology.make ~nodes:1 ~clusters_per_node:1 ~cores_per_cluster:4;
+    lat =
+      {
+        l1_hit = 2;
+        same_cluster = 9;
+        same_node = 20;
+        cross_node = 60;
+        dram = 70;
+        bisection_rt = 4;
+        domain_rt = 110;
+        rmw_extra = 5;
+      };
+    alu_ipc = 3;
+    rob_size = 24;
+    sb_size = 10;
+    isb_cost = 16;
+    dmb_min = 1;
+    stlr_extra = 25;
+    quantum = 64;
+  }
+
+let all = [ kunpeng916; kirin960; kirin970; raspberrypi4 ]
+
+let by_name s =
+  let s = String.lowercase_ascii s in
+  List.find_opt (fun (c : Config.t) -> String.lowercase_ascii c.name = s) all
+
+let names = List.map (fun (c : Config.t) -> c.name) all
+
+type placement = { label : string; cfg : Config.t; cores : int list }
+
+let big_cluster_cores (cfg : Config.t) = Topology.cores_of_cluster cfg.topo 0
+
+let comm_pairs =
+  [
+    { label = "Kunpeng916 Same Node"; cfg = kunpeng916; cores = [ 0; 4 ] };
+    {
+      label = "Kunpeng916 Cross Nodes";
+      cfg = kunpeng916;
+      cores = [ 0; Topology.num_cores kunpeng916.topo / 2 ];
+    };
+    { label = "Kirin960"; cfg = kirin960; cores = [ 0; 1 ] };
+    { label = "Kirin970"; cfg = kirin970; cores = [ 0; 1 ] };
+    { label = "Raspberry Pi 4"; cfg = raspberrypi4; cores = [ 0; 1 ] };
+  ]

@@ -1,0 +1,48 @@
+(** Calibrated simulator configurations for the paper's four target
+    platforms (Table 2).
+
+    Calibration method: resource sizes come from published
+    micro-architecture data (Cortex-A72/A73, TaiShan/Hi1616); latency
+    and boundary round trips are fitted so that the no-barrier baselines
+    and the relative barrier costs of the paper's Figures 2/3/5 are
+    approximated (see EXPERIMENTS.md for paper-vs-measured deltas).
+    The server part has a deep interconnect (large domain round trip,
+    expensive cross-node transfers); the mobile parts have a shallow bus
+    where barrier-cost variation is compressed — the contrast behind
+    Observation 4. *)
+
+val kunpeng916 : Armb_cpu.Config.t
+(** 2 NUMA nodes x 32 Cortex-A72 cores at 2.4 GHz (Hydra interface). *)
+
+val kirin960 : Armb_cpu.Config.t
+(** big.LITTLE 4xA73 + 4xA53 at 2.1 GHz on CCI-550; experiments bind to
+    the big cluster (cores 0-3). *)
+
+val kirin970 : Armb_cpu.Config.t
+(** Same layout as Kirin 960 at 2.36 GHz. *)
+
+val raspberrypi4 : Armb_cpu.Config.t
+(** 4xA72 at 1.5 GHz, single cluster. *)
+
+val all : Armb_cpu.Config.t list
+
+val by_name : string -> Armb_cpu.Config.t option
+(** Case-insensitive lookup ("kunpeng916", "kirin960", ...). *)
+
+val names : string list
+
+(** {2 Standard thread placements used throughout the benches} *)
+
+type placement = {
+  label : string;
+  cfg : Armb_cpu.Config.t;
+  cores : int list;  (** cores to bind communicating threads to, in order *)
+}
+
+val comm_pairs : placement list
+(** The five two-thread configurations of Figures 3/5/6: kunpeng916
+    same-node, kunpeng916 cross-node, kirin960 big cluster, kirin970 big
+    cluster, raspberry pi 4. *)
+
+val big_cluster_cores : Armb_cpu.Config.t -> int list
+(** Cores of cluster 0 (the big cluster on big.LITTLE parts). *)

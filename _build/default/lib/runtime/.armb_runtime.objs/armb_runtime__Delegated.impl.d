@@ -1,0 +1,1 @@
+lib/runtime/delegated.ml: Array Dsmsynch Ffwd List Queue Stack Ticket_lock

@@ -1,0 +1,1 @@
+lib/runtime/delegated.mli: Dsmsynch Ffwd Ticket_lock

@@ -1,0 +1,1 @@
+lib/runtime/dsmsynch.ml: Atomic Backoff Domain Hashtbl Mutex Pilot_codec

@@ -1,0 +1,1 @@
+lib/runtime/ffwd.ml: Array Atomic Backoff Domain Pilot_codec

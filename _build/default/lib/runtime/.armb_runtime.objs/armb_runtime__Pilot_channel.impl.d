@@ -1,0 +1,1 @@
+lib/runtime/pilot_channel.ml: Array Atomic Backoff Pilot_codec

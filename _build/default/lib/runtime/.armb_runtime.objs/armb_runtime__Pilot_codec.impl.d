@@ -1,0 +1,1 @@
+lib/runtime/pilot_codec.ml: Array Int64

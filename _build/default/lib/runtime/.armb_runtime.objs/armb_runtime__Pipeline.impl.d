@@ -1,0 +1,1 @@
+lib/runtime/pipeline.ml: Array Backoff Domain List Pilot_channel Spsc_ring Unix

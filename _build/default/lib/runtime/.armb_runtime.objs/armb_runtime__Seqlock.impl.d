@@ -1,0 +1,1 @@
+lib/runtime/seqlock.ml: Array Atomic Backoff

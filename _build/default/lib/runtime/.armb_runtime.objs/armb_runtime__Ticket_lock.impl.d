@@ -1,0 +1,1 @@
+lib/runtime/ticket_lock.ml: Atomic Backoff

@@ -1,0 +1,13 @@
+(** Exponential backoff for native spin loops. *)
+
+type t
+
+val create : ?min_spins:int -> ?max_spins:int -> unit -> t
+
+val once : t -> unit
+(** Spin (with [Domain.cpu_relax]) for the current budget and double it,
+    up to the cap.  On a machine with fewer cores than runnable domains
+    the cap also yields to the OS scheduler so spinners cannot starve
+    the thread they are waiting for. *)
+
+val reset : t -> unit

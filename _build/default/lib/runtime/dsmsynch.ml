@@ -1,0 +1,164 @@
+(* Release-word protocol per node:
+     0            waiting
+     1            handoff: you are the combiner
+     ret*4 + 3    completed, with the return value (plain mode)
+   In pilot mode the same payloads travel Pilot-encoded, so repeated
+   releases of the same node always change the word. *)
+
+type node = {
+  mutable req : (unit -> int) option;
+  release : int Atomic.t;
+  release_flag : int Atomic.t; (* pilot collision fallback *)
+  next : node option Atomic.t;
+  mutable snd : Pilot_codec.sender;
+  mutable rcv : Pilot_codec.receiver;
+}
+
+type t = {
+  id : int;
+  tail : node Atomic.t;
+  pilot : bool;
+  combine_bound : int;
+  combine_count : int Atomic.t;
+  pool : int array;
+}
+
+let make_node pool =
+  {
+    req = None;
+    release = Atomic.make 0;
+    release_flag = Atomic.make 0;
+    next = Atomic.make None;
+    snd = Pilot_codec.sender pool;
+    rcv = Pilot_codec.receiver pool;
+  }
+
+let fresh_node t = make_node t.pool
+
+let next_lock_id = Atomic.make 0
+
+let create ?(pilot = false) ?(combine_bound = 64) () =
+  if combine_bound < 1 then invalid_arg "Dsmsynch.create";
+  let pool = Pilot_codec.make_pool ~seed:23 () in
+  let boot = make_node pool in
+  (* The bootstrap node is pre-released as "combiner handoff". *)
+  (if pilot then
+     match Pilot_codec.encode boot.snd 1 with
+     | Pilot_codec.Write_data d -> Atomic.set boot.release d
+     | Pilot_codec.Toggle_flag -> assert false
+   else Atomic.set boot.release 1);
+  {
+    id = Atomic.fetch_and_add next_lock_id 1;
+    tail = Atomic.make boot;
+    pilot;
+    combine_bound;
+    combine_count = Atomic.make 0;
+    pool;
+  }
+
+let pack_completed ret = (ret * 4) lor 3
+
+let is_handoff payload = payload = 1
+
+let release t node payload =
+  if t.pilot then begin
+    match Pilot_codec.encode node.snd payload with
+    | Pilot_codec.Write_data d -> Atomic.set node.release d
+    | Pilot_codec.Toggle_flag ->
+      Atomic.set node.release_flag (Atomic.get node.release_flag lxor 1)
+  end
+  else Atomic.set node.release payload
+
+let await t node =
+  let b = Backoff.create () in
+  if t.pilot then begin
+    let rec go () =
+      let d = Atomic.get node.release in
+      let f = Atomic.get node.release_flag in
+      match Pilot_codec.try_decode node.rcv ~data:d ~flag:f with
+      | Some payload -> payload
+      | None ->
+        Backoff.once b;
+        go ()
+    in
+    go ()
+  end
+  else begin
+    let rec go () =
+      let v = Atomic.get node.release in
+      if v <> 0 then v
+      else begin
+        Backoff.once b;
+        go ()
+      end
+    in
+    go ()
+  end
+
+(* Per-domain spare node, rotated CC-Synch style.  Domain-local storage
+   keys the spare by (lock, domain). *)
+let spares : (int * int, node) Hashtbl.t = Hashtbl.create 64
+
+let spares_lock = Mutex.create ()
+
+let get_spare t =
+  let key = (t.id, (Domain.self () :> int)) in
+  Mutex.lock spares_lock;
+  let n =
+    match Hashtbl.find_opt spares key with
+    | Some n ->
+      Hashtbl.remove spares key;
+      n
+    | None -> fresh_node t
+  in
+  Mutex.unlock spares_lock;
+  n
+
+let put_spare t node =
+  let key = (t.id, (Domain.self () :> int)) in
+  Mutex.lock spares_lock;
+  Hashtbl.replace spares key node;
+  Mutex.unlock spares_lock
+
+let exec t f =
+  let fresh = get_spare t in
+  Atomic.set fresh.next None;
+  if not t.pilot then Atomic.set fresh.release 0;
+  let cur = Atomic.exchange t.tail fresh in
+  cur.req <- Some f;
+  Atomic.set cur.next (Some fresh);
+  let payload = await t cur in
+  let result =
+    if is_handoff payload then begin
+      (* We are the combiner: serve the chain starting at our own node. *)
+      let my_ret = ref 0 in
+      let tmp = ref cur and budget = ref t.combine_bound and looping = ref true in
+      while !looping do
+        match Atomic.get !tmp.next with
+        | None ->
+          release t !tmp 1;
+          looping := false
+        | Some nxt when !budget = 0 ->
+          ignore nxt;
+          release t !tmp 1;
+          looping := false
+        | Some nxt ->
+          let g = match !tmp.req with Some g -> g | None -> fun () -> 0 in
+          let r = g () in
+          !tmp.req <- None;
+          decr budget;
+          if !tmp == cur then my_ret := r
+          else begin
+            Atomic.incr t.combine_count;
+            release t !tmp (pack_completed r)
+          end;
+          tmp := nxt
+      done;
+      !my_ret
+    end
+    else payload asr 2
+  in
+  put_spare t cur;
+  result
+
+let combines t = Atomic.get t.combine_count

@@ -1,0 +1,23 @@
+(** Native DSM-Synch / CC-Synch migratory combining lock over OCaml 5
+    atomics (Fatourou & Kallimanis, PPoPP'12), with an optional Pilot
+    release path (paper §5.3).
+
+    [exec t f] runs the closure [f] inside the lock — possibly on
+    another thread (the current combiner) — and returns its result.
+    Closures therefore must not assume thread identity.
+
+    With [pilot = true], the combiner publishes "done + return value"
+    with a single atomic store of a Pilot-encoded word instead of
+    ret-store / fence / flag-store; with seq_cst-only atomics the
+    measurable effect on the host is the reduced number of shared
+    stores, not fence removal (documented in DESIGN.md). *)
+
+type t
+
+val create : ?pilot:bool -> ?combine_bound:int -> unit -> t
+
+val exec : t -> (unit -> int) -> int
+(** Delegate the closure; blocks until it has executed. *)
+
+val combines : t -> int
+(** Operations executed on behalf of other threads so far. *)

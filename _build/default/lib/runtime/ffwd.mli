@@ -1,0 +1,32 @@
+(** Native FFWD-style dedicated-server delegation (Roghanchi et al.,
+    SOSP'17): a server domain executes closures submitted through
+    per-client slots, keeping the protected data's cache lines on one
+    core.
+
+    [pilot = true] publishes responses with a single Pilot-encoded
+    atomic store (paper Algorithm 6); clients' requests remain
+    closure+flag since closures cannot be piggybacked on one word.
+
+    Typical use:
+    {[
+      let srv = Ffwd.create ~clients:4 () in
+      (* from client thread i: *)
+      let r = Ffwd.request srv ~client:i (fun () -> critical_section ()) in
+      ...
+      Ffwd.shutdown srv
+    ]} *)
+
+type t
+
+val create : ?pilot:bool -> clients:int -> unit -> t
+(** Starts the server domain. *)
+
+val request : t -> client:int -> (unit -> int) -> int
+(** Execute the closure on the server; each client slot must be used by
+    at most one thread at a time. *)
+
+val shutdown : t -> unit
+(** Drain and stop the server domain (idempotent). *)
+
+val served : t -> int
+(** Total requests executed. *)

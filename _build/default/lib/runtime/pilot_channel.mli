@@ -1,0 +1,27 @@
+(** Native SPSC channel with Pilot applied (paper §4.3/§4.4): each ring
+    slot is a Pilot channel — the consumer detects arrival by the slot
+    word changing, so there is no producer-side counter at all; the only
+    other shared word is the consumer counter guarding slot reuse.
+
+    Compared to {!Spsc_ring}, a delivery touches one shared slot word
+    instead of a slot plus the producer counter — Pilot's
+    cache-line-reduction benefit, observable even under OCaml's seq_cst
+    atomics. *)
+
+type t
+
+val create : ?seed:int -> ?pool_size:int -> slots:int -> unit -> t
+(** [slots] must be a power of two.  [pool_size] sets the shuffle-pool
+    length (default 64); a pool of 1 makes equal consecutive payloads
+    collide deterministically — useful for exercising the fallback. *)
+
+val try_send : t -> int -> bool
+
+val send : t -> int -> unit
+
+val try_recv : t -> int option
+
+val recv : t -> int
+
+val fallbacks : t -> int
+(** Deliveries that used the flag-toggle collision path. *)

@@ -1,0 +1,75 @@
+type channel_kind = Plain_ring | Pilot
+
+type spec = { channel : channel_kind; slots : int; stages : (int -> int) list }
+
+type chan = {
+  send : int -> unit;
+  recv : unit -> int;
+  try_send : int -> bool;
+  try_recv : unit -> int option;
+}
+
+let make_chan spec =
+  match spec.channel with
+  | Plain_ring ->
+    let r = Spsc_ring.create ~slots:spec.slots in
+    {
+      send = Spsc_ring.send r;
+      recv = (fun () -> Spsc_ring.recv r);
+      try_send = Spsc_ring.try_send r;
+      try_recv = (fun () -> Spsc_ring.try_recv r);
+    }
+  | Pilot ->
+    let r = Pilot_channel.create ~slots:spec.slots () in
+    {
+      send = Pilot_channel.send r;
+      recv = (fun () -> Pilot_channel.recv r);
+      try_send = Pilot_channel.try_send r;
+      try_recv = (fun () -> Pilot_channel.try_recv r);
+    }
+
+type result = { outputs : int list; elapsed_ns : float }
+
+let run spec ~inputs =
+  if spec.stages = [] then invalid_arg "Pipeline.run: no stages";
+  let n_msgs = List.length inputs in
+  let n_stages = List.length spec.stages in
+  let chans = Array.init (n_stages + 1) (fun _ -> make_chan spec) in
+  let t0 = Unix.gettimeofday () in
+  let domains =
+    List.mapi
+      (fun i stage ->
+        let inp = chans.(i) and out = chans.(i + 1) in
+        Domain.spawn (fun () ->
+            for _ = 1 to n_msgs do
+              out.send (stage (inp.recv ()))
+            done))
+      spec.stages
+  in
+  (* The caller is both source and sink; feeding and draining interleave
+     non-blockingly so bounded channels cannot deadlock on one host
+     core. *)
+  let first = chans.(0) and last = chans.(n_stages) in
+  let outputs = ref [] in
+  let fed = ref inputs and drained = ref 0 in
+  let b = Backoff.create () in
+  while !drained < n_msgs do
+    let progress = ref false in
+    (match !fed with
+    | v :: rest ->
+      if first.try_send v then begin
+        fed := rest;
+        progress := true
+      end
+    | [] -> ());
+    (match last.try_recv () with
+    | Some v ->
+      outputs := v :: !outputs;
+      incr drained;
+      progress := true
+    | None -> ());
+    if !progress then Backoff.reset b else Backoff.once b
+  done;
+  List.iter Domain.join domains;
+  let t1 = Unix.gettimeofday () in
+  { outputs = List.rev !outputs; elapsed_ns = (t1 -. t0) *. 1e9 }

@@ -1,0 +1,24 @@
+(** Native multi-stage pipeline harness over SPSC channels — the
+    runtime counterpart of the dedup experiment (Figure 6(d)).
+
+    Each stage is a function from message to message running in its own
+    domain; adjacent stages are connected by either plain rings or
+    Pilot channels.  The source feeds a finite stream; [run] returns
+    when the sink has consumed everything. *)
+
+type channel_kind = Plain_ring | Pilot
+
+type spec = {
+  channel : channel_kind;
+  slots : int;  (** per channel; power of two *)
+  stages : (int -> int) list;  (** applied in order *)
+}
+
+type result = {
+  outputs : int list;  (** sink outputs, in order *)
+  elapsed_ns : float;
+}
+
+val run : spec -> inputs:int list -> result
+(** Spawns one domain per stage (the caller acts as source and sink).
+    Raises on empty [stages]. *)

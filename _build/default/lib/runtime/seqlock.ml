@@ -1,0 +1,34 @@
+type t = { seq : int Atomic.t; cells : int Atomic.t array }
+
+let create ~words =
+  if words <= 0 then invalid_arg "Seqlock.create";
+  { seq = Atomic.make 0; cells = Array.init words (fun _ -> Atomic.make 0) }
+
+let write t payload =
+  if Array.length payload <> Array.length t.cells then
+    invalid_arg "Seqlock.write: wrong payload arity";
+  let s = Atomic.get t.seq in
+  Atomic.set t.seq (s + 1);
+  Array.iteri (fun i v -> Atomic.set t.cells.(i) v) payload;
+  Atomic.set t.seq (s + 2)
+
+let read t =
+  let b = Backoff.create () in
+  let rec attempt () =
+    let s1 = Atomic.get t.seq in
+    if s1 land 1 = 1 then begin
+      Backoff.once b;
+      attempt ()
+    end
+    else begin
+      let snapshot = Array.map Atomic.get t.cells in
+      if Atomic.get t.seq = s1 then snapshot
+      else begin
+        Backoff.once b;
+        attempt ()
+      end
+    end
+  in
+  attempt ()
+
+let writes t = Atomic.get t.seq / 2

@@ -1,0 +1,26 @@
+type t = { next : int Atomic.t; serving : int Atomic.t }
+
+let create () = { next = Atomic.make 0; serving = Atomic.make 0 }
+
+let acquire t =
+  let my = Atomic.fetch_and_add t.next 1 in
+  if Atomic.get t.serving <> my then begin
+    let b = Backoff.create () in
+    while Atomic.get t.serving <> my do
+      Backoff.once b
+    done
+  end
+
+let release t = Atomic.set t.serving (Atomic.get t.serving + 1)
+
+let with_lock t f =
+  acquire t;
+  match f () with
+  | v ->
+    release t;
+    v
+  | exception e ->
+    release t;
+    raise e
+
+let holders_served t = Atomic.get t.serving

@@ -1,0 +1,1 @@
+lib/sim/series.ml: Buffer Float Format List Printf String

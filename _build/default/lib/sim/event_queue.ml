@@ -1,0 +1,74 @@
+type time = int
+
+(* Key packing: we order primarily by time, secondarily by sequence
+   number.  Times in this simulator stay well below 2^40 cycles and the
+   heap key is a single int, so we keep (time, seq) unpacked by storing
+   time in the heap key and resolving FIFO order among equal times with
+   a per-event sequence carried in the payload.  The binary heap is not
+   stable, so we sort equal-key pops through a small staging check. *)
+
+type event = { seq : int; fn : unit -> unit }
+
+type t = {
+  heap : event Heap.t;
+  mutable clock : time;
+  mutable next_seq : int;
+  mutable processed : int;
+}
+
+let create () = { heap = Heap.create (); clock = 0; next_seq = 0; processed = 0 }
+
+let now t = t.clock
+
+let schedule t ~at fn =
+  let at = if at < t.clock then t.clock else at in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Heap.add t.heap ~key:at { seq; fn }
+
+let schedule_in t ~delay fn = schedule t ~at:(t.clock + max 0 delay) fn
+
+(* Pop all events sharing the earliest timestamp, run them in seq order.
+   Running one may schedule more events at the same timestamp; those run
+   in a later batch of the same time, still after their scheduler, which
+   is the FIFO behaviour we document. *)
+let run_next t =
+  match Heap.pop t.heap with
+  | None -> false
+  | Some (time, ev) ->
+    let batch = ref [ ev ] in
+    let rec drain () =
+      match Heap.peek_key t.heap with
+      | Some k when k = time -> (
+        match Heap.pop t.heap with
+        | Some (_, ev') ->
+          batch := ev' :: !batch;
+          drain ()
+        | None -> ())
+      | _ -> ()
+    in
+    drain ();
+    let sorted = List.sort (fun a b -> compare a.seq b.seq) !batch in
+    t.clock <- time;
+    List.iter
+      (fun ev ->
+        t.processed <- t.processed + 1;
+        ev.fn ())
+      sorted;
+    true
+
+let run ?until ?max_events t =
+  let continue () =
+    (match max_events with Some m -> t.processed < m | None -> true)
+    &&
+    match until with
+    | Some u -> ( match Heap.peek_key t.heap with Some k -> k <= u | None -> false)
+    | None -> not (Heap.is_empty t.heap)
+  in
+  while continue () do
+    ignore (run_next t)
+  done
+
+let pending t = Heap.length t.heap
+
+let processed t = t.processed

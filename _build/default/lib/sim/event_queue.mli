@@ -1,0 +1,39 @@
+(** Discrete-event scheduler core.
+
+    Time is measured in integer processor cycles of the simulated
+    machine.  Events scheduled at equal times fire in insertion order
+    (FIFO tie-break), which keeps runs deterministic regardless of heap
+    internals. *)
+
+type time = int
+
+type t
+
+val create : unit -> t
+
+val now : t -> time
+(** Current simulation time: the timestamp of the event being processed
+    (0 before the first event). *)
+
+val schedule : t -> at:time -> (unit -> unit) -> unit
+(** [schedule q ~at f] runs [f] when simulated time reaches [at].
+    [at] is clamped to [now q] if it lies in the past, preserving the
+    monotonic-clock invariant. *)
+
+val schedule_in : t -> delay:int -> (unit -> unit) -> unit
+(** [schedule_in q ~delay f] = [schedule q ~at:(now q + delay) f]. *)
+
+val run_next : t -> bool
+(** Process the single earliest event. Returns [false] when the queue is
+    empty. *)
+
+val run : ?until:time -> ?max_events:int -> t -> unit
+(** Drain the queue.  [until] stops once [now] would exceed it;
+    [max_events] bounds the number of processed events (guard against
+    accidental livelock in tests). *)
+
+val pending : t -> int
+(** Number of events not yet fired. *)
+
+val processed : t -> int
+(** Total events fired since creation. *)

@@ -1,0 +1,74 @@
+type 'a t = {
+  mutable keys : int array;
+  mutable vals : 'a array;
+  mutable size : int;
+}
+
+let create ?(capacity = 64) () =
+  { keys = Array.make (max 1 capacity) 0; vals = [||]; size = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let grow h v =
+  let cap = Array.length h.keys in
+  let keys' = Array.make (2 * cap) 0 in
+  Array.blit h.keys 0 keys' 0 h.size;
+  h.keys <- keys';
+  let vals' = Array.make (2 * cap) v in
+  Array.blit h.vals 0 vals' 0 h.size;
+  h.vals <- vals'
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if h.keys.(i) < h.keys.(p) then begin
+      let k = h.keys.(i) and v = h.vals.(i) in
+      h.keys.(i) <- h.keys.(p);
+      h.vals.(i) <- h.vals.(p);
+      h.keys.(p) <- k;
+      h.vals.(p) <- v;
+      sift_up h p
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && h.keys.(l) < h.keys.(!smallest) then smallest := l;
+  if r < h.size && h.keys.(r) < h.keys.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let s = !smallest in
+    let k = h.keys.(i) and v = h.vals.(i) in
+    h.keys.(i) <- h.keys.(s);
+    h.vals.(i) <- h.vals.(s);
+    h.keys.(s) <- k;
+    h.vals.(s) <- v;
+    sift_down h s
+  end
+
+let add h ~key v =
+  if h.size = 0 && Array.length h.vals = 0 then h.vals <- Array.make (Array.length h.keys) v;
+  if h.size = Array.length h.keys then grow h v;
+  h.keys.(h.size) <- key;
+  h.vals.(h.size) <- v;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let k = h.keys.(0) and v = h.vals.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.keys.(0) <- h.keys.(h.size);
+      h.vals.(0) <- h.vals.(h.size);
+      sift_down h 0
+    end;
+    Some (k, v)
+  end
+
+let peek_key h = if h.size = 0 then None else Some h.keys.(0)
+
+let clear h = h.size <- 0

@@ -1,0 +1,25 @@
+(** Array-based binary min-heap, specialised to integer keys.
+
+    The simulation kernel orders events by (time, sequence) pairs; both
+    are packed by the caller into a single comparison key plus payload.
+    This heap is intentionally minimal and allocation-light: one growing
+    array, no per-node boxing beyond the payload tuple. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> key:int -> 'a -> unit
+(** [add h ~key v] inserts [v] with priority [key] (smaller pops first). *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the minimum (key, value), or [None] when empty. *)
+
+val peek_key : 'a t -> int option
+(** Key of the minimum element without removing it. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,30 @@
+(** Result-table formatting shared by the benchmark harness.
+
+    Every figure/table in the paper is regenerated as a [table]: a grid
+    of labelled rows and columns of floats, printed in an aligned ASCII
+    layout so runs can be diffed. *)
+
+type table = {
+  title : string;
+  col_labels : string list;
+  rows : (string * float list) list;
+  unit_label : string;
+}
+
+val make : title:string -> unit_label:string -> cols:string list -> (string * float list) list -> table
+
+val pp : Format.formatter -> table -> unit
+(** Aligned grid with the title, unit and column header. *)
+
+val print : table -> unit
+(** [pp] to stdout followed by a blank line. *)
+
+val cell : table -> row:string -> col:string -> float
+(** Lookup by labels.  Raises [Not_found] for unknown labels. *)
+
+val normalize_to : table -> row:string -> table
+(** Divide every row element-wise by the given row (for the paper's
+    "normalized throughput" figures).  Zero cells in the base row yield 0. *)
+
+val csv : table -> string
+(** Comma-separated rendering (header line then one line per row). *)

@@ -1,0 +1,99 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let create () = { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x
+
+let count t = t.n
+
+let mean t = t.mean
+
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+
+let stddev t = sqrt (variance t)
+
+let summary t =
+  {
+    n = t.n;
+    mean = t.mean;
+    stddev = stddev t;
+    min = (if t.n = 0 then 0.0 else t.min);
+    max = (if t.n = 0 then 0.0 else t.max);
+  }
+
+let pp_summary ppf (s : summary) =
+  Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g" s.n s.mean s.stddev s.min s.max
+
+module Counter = struct
+  type t = { mutable v : int }
+
+  let create () = { v = 0 }
+  let incr t = t.v <- t.v + 1
+  let add t n = t.v <- t.v + n
+  let get t = t.v
+  let reset t = t.v <- 0
+end
+
+module Histogram = struct
+  type t = {
+    width : int;
+    counts : int array; (* last slot is overflow *)
+    mutable total : int;
+  }
+
+  let create ~bucket_width ~buckets =
+    assert (bucket_width > 0 && buckets > 0);
+    { width = bucket_width; counts = Array.make (buckets + 1) 0; total = 0 }
+
+  let add t v =
+    let b = v / t.width in
+    let b = if b < 0 then 0 else if b >= Array.length t.counts - 1 then Array.length t.counts - 1 else b in
+    t.counts.(b) <- t.counts.(b) + 1;
+    t.total <- t.total + 1
+
+  let total t = t.total
+
+  let bucket_count t i = t.counts.(i)
+
+  let percentile t q =
+    let target = int_of_float (ceil (q *. float_of_int t.total)) in
+    let rec scan i acc =
+      if i >= Array.length t.counts then (Array.length t.counts - 1) * t.width
+      else
+        let acc = acc + t.counts.(i) in
+        if acc >= target then (i + 1) * t.width else scan (i + 1) acc
+    in
+    if t.total = 0 then 0 else scan 0 0
+
+  let pp ppf t =
+    Format.fprintf ppf "@[<v>";
+    Array.iteri
+      (fun i c ->
+        if c > 0 then Format.fprintf ppf "[%6d..%6d): %d@," (i * t.width) ((i + 1) * t.width) c)
+      t.counts;
+    Format.fprintf ppf "@]"
+end
+
+let throughput_per_sec ~ops ~cycles ~freq_ghz =
+  if cycles <= 0 then 0.0
+  else float_of_int ops /. (float_of_int cycles /. (freq_ghz *. 1e9))

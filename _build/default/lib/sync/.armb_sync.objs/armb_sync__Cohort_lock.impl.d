@@ -1,0 +1,1 @@
+lib/sync/cohort_lock.ml: Armb_core Armb_cpu Armb_mem Array Int64 Ticket_lock

@@ -1,0 +1,1 @@
+lib/sync/ds_bench.ml: Armb_cpu Armb_mem Armb_sim Array Dsmsynch Ffwd Int64 List Printf Queue Sim_alloc Ticket_lock

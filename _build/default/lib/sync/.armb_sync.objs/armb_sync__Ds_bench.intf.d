@@ -1,0 +1,1 @@
+lib/sync/ds_bench.mli: Armb_cpu

@@ -1,0 +1,1 @@
+lib/sync/dsmsynch.ml: Armb_core Armb_cpu Armb_mem Array Hashtbl Int64 List Printf

@@ -1,0 +1,1 @@
+lib/sync/dsmsynch.mli: Armb_cpu

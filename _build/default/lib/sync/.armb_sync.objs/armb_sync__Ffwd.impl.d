@@ -1,0 +1,1 @@
+lib/sync/ffwd.ml: Armb_core Armb_cpu Array Int64 List Printf

@@ -1,0 +1,1 @@
+lib/sync/ffwd.mli: Armb_core Armb_cpu

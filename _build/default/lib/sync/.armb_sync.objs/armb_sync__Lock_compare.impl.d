@@ -1,0 +1,1 @@
+lib/sync/lock_compare.ml: Armb_cpu Armb_mem Cohort_lock Int64 List Mcs_lock Printf Spin_lock Ticket_lock

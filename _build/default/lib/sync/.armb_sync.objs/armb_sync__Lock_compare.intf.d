@@ -1,0 +1,1 @@
+lib/sync/lock_compare.mli: Armb_cpu

@@ -1,0 +1,1 @@
+lib/sync/mcs_lock.ml: Armb_core Armb_cpu Array Int64

@@ -1,0 +1,1 @@
+lib/sync/pilot_ring.ml: Armb_core Armb_cpu Armb_mem Array Int64 List Printf Queue

@@ -1,0 +1,1 @@
+lib/sync/pilot_ring.mli: Armb_cpu Armb_mem

@@ -1,0 +1,1 @@
+lib/sync/seqlock.ml: Armb_cpu Array Int64

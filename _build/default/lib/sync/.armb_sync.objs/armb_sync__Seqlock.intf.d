@@ -1,0 +1,1 @@
+lib/sync/seqlock.mli: Armb_cpu

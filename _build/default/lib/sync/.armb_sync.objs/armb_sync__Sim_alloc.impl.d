@@ -1,0 +1,1 @@
+lib/sync/sim_alloc.ml: Armb_cpu List

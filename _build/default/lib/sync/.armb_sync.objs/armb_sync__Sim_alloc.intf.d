@@ -1,0 +1,1 @@
+lib/sync/sim_alloc.mli: Armb_cpu

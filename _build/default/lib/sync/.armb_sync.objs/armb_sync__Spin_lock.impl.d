@@ -1,0 +1,1 @@
+lib/sync/spin_lock.ml: Armb_core Armb_cpu Int64

@@ -1,0 +1,1 @@
+lib/sync/spin_lock.mli: Armb_core Armb_cpu

@@ -1,0 +1,1 @@
+lib/sync/spsc_ring.ml: Armb_core Armb_cpu Armb_mem Int64 List Printf

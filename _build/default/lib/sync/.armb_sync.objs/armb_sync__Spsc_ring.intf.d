@@ -1,0 +1,1 @@
+lib/sync/spsc_ring.mli: Armb_core Armb_cpu Armb_mem

@@ -1,0 +1,1 @@
+lib/sync/ticket_lock.ml: Armb_core Armb_cpu Int64 List Printf

@@ -1,0 +1,1 @@
+lib/sync/ticket_lock.mli: Armb_core Armb_cpu

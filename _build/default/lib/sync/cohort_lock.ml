@@ -1,0 +1,66 @@
+module Barrier = Armb_cpu.Barrier
+module Core = Armb_cpu.Core
+module Machine = Armb_cpu.Machine
+module Ordering = Armb_core.Ordering
+module Topology = Armb_mem.Topology
+
+type t = {
+  topo : Topology.t;
+  global : Ticket_lock.t;
+  locals : Ticket_lock.t array;
+  state : int array; (* per node: have_global flag at +0, batch count at +8 *)
+  max_cohort : int;
+  mutable handoff_count : int;
+  mutable transfer_count : int;
+}
+
+let create m ?(max_cohort = 32) () =
+  if max_cohort < 1 then invalid_arg "Cohort_lock.create";
+  let topo = (Machine.config m).Armb_cpu.Config.topo in
+  let nodes = Topology.num_nodes topo in
+  {
+    topo;
+    global = Ticket_lock.create m;
+    locals = Array.init nodes (fun _ -> Ticket_lock.create m);
+    state = Array.init nodes (fun _ -> Machine.alloc_line m);
+    max_cohort;
+    handoff_count = 0;
+    transfer_count = 0;
+  }
+
+let node_of t (c : Core.t) = Topology.node_of t.topo (Core.id c)
+
+let acquire t (c : Core.t) =
+  let n = node_of t c in
+  Ticket_lock.acquire t.locals.(n) c;
+  (* Inherited the global lock from a node-mate? *)
+  let have = Core.await c (Core.load c t.state.(n)) in
+  if not (Int64.equal have 1L) then begin
+    Ticket_lock.acquire t.global c;
+    Core.store c t.state.(n) 1L
+  end
+
+let release ?(barrier = Ordering.Bar (Barrier.Dmb Full)) t (c : Core.t) =
+  let n = node_of t c in
+  let batch = Core.await c (Core.load c (t.state.(n) + 8)) in
+  let pass_within_node =
+    Int64.to_int batch < t.max_cohort && Ticket_lock.has_waiters t.locals.(n) c
+  in
+  if pass_within_node then begin
+    t.handoff_count <- t.handoff_count + 1;
+    Core.store c (t.state.(n) + 8) (Int64.add batch 1L);
+    (* The local release's own barrier orders the critical section (and
+       the flag above) before the handoff. *)
+    Ticket_lock.release ~barrier t.locals.(n) c
+  end
+  else begin
+    t.transfer_count <- t.transfer_count + 1;
+    Core.store c t.state.(n) 0L;
+    Core.store c (t.state.(n) + 8) 0L;
+    Ticket_lock.release ~barrier t.global c;
+    Ticket_lock.release ~barrier:(Ordering.Bar (Barrier.Dmb St)) t.locals.(n) c
+  end
+
+let handoffs t = t.handoff_count
+
+let global_transfers t = t.transfer_count

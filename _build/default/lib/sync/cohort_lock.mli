@@ -1,0 +1,28 @@
+(** Simulated NUMA-aware cohort lock (ticket-ticket flavour of Dice,
+    Marathe & Shavit's lock cohorting) — the optimization the paper's
+    §5.3 points to for in-place locks: "barriers' overhead can be
+    reduced by limiting the contention to one NUMA node for a period,
+    which diminishes the appearances of cross-NUMA-node accesses".
+
+    Structure: one ticket lock per NUMA node plus a global ticket lock.
+    A releasing holder that sees local waiters (and remaining cohort
+    budget) hands the {e global} ownership to its node-mate by releasing
+    only the local lock; the lock's hot lines then migrate within one
+    node, so the release barrier's snoops stay inside the bi-section
+    boundary.  The budget bounds unfairness to remote nodes. *)
+
+type t
+
+val create : Armb_cpu.Machine.t -> ?max_cohort:int -> unit -> t
+(** [max_cohort] (default 32) bounds consecutive same-node handoffs. *)
+
+val acquire : t -> Armb_cpu.Core.t -> unit
+(** The calling core's NUMA node is derived from its id. *)
+
+val release : ?barrier:Armb_core.Ordering.t -> t -> Armb_cpu.Core.t -> unit
+
+val handoffs : t -> int
+(** Same-node handoffs performed (global lock retained). *)
+
+val global_transfers : t -> int
+(** Releases that let the global lock go to another node. *)

@@ -1,0 +1,52 @@
+(** Lock-protected data structures on the simulator and the Figure 8
+    benchmark harness: Queue and Stack under a global lock (8a), a
+    sorted linked list (8b), and a hash table with per-bucket locks
+    (8c), each runnable under a ticket lock, DSM-Synch(-Pilot) or
+    FFWD(-Pilot).
+
+    The structures live in simulated memory (every node is a cache
+    line), so critical-section length and locality behave as on the
+    modelled machine: under delegation the structure stays hot in the
+    server/combiner's cache, under the in-place lock it migrates to
+    each lock holder — the effect behind Figure 8's rankings.
+
+    Every run validates against a host-side shadow model (lock-order
+    equivalence holds because critical sections execute atomically with
+    respect to each other), so these benchmarks are also correctness
+    tests of the lock implementations. *)
+
+type lock_kind = Ticket | Dsynch | Dsynch_pilot | Ffwd_lock | Ffwd_pilot
+
+val lock_name : lock_kind -> string
+val all_locks : lock_kind list
+
+type spec = {
+  cfg : Armb_cpu.Config.t;
+  lock : lock_kind;
+  workers : int;  (** worker thread count (cores assigned automatically) *)
+  ops_per_worker : int;
+  interval_nops : int;
+}
+
+val default_spec : Armb_cpu.Config.t -> lock:lock_kind -> spec
+
+type result = {
+  throughput : float;  (** operations per second *)
+  cycles : int;
+  ops : int;
+}
+
+val run_queue : spec -> result
+(** Workers alternate enqueue / dequeue under one global lock. *)
+
+val run_stack : spec -> result
+(** Workers alternate push / pop under one global lock. *)
+
+val run_sorted_list : preload:int -> spec -> result
+(** Sorted linked list: 10 searches, then 1 insert and 1 remove, on
+    keys drawn from twice the preload range. *)
+
+val run_hash_table : buckets:int -> preload:int -> spec -> result
+(** Hash table of [buckets] sorted lists, one lock per bucket; FFWD
+    variants dedicate up to 8 server cores, shared round-robin among
+    buckets. *)

@@ -1,0 +1,31 @@
+(** Head-to-head comparison of the in-place lock family (spinlock,
+    ticket, MCS, NUMA-aware cohort) on the simulator — the extension
+    study suggested by the paper's §5.3: a NUMA-aware lock keeps the
+    release barrier's snoops inside one bi-section boundary, so its
+    advantage should show up both in throughput and in cross-node
+    coherence traffic. *)
+
+type lock_kind = Spin | Ticket | Mcs | Cohort
+
+val lock_name : lock_kind -> string
+val all_locks : lock_kind list
+
+type spec = {
+  cfg : Armb_cpu.Config.t;
+  lock : lock_kind;
+  cores : int list;
+  acquisitions : int;  (** per thread *)
+  cs_lines : int;
+  interval_nops : int;
+}
+
+val default_spec : Armb_cpu.Config.t -> lock:lock_kind -> cores:int list -> spec
+
+type result = {
+  throughput : float;  (** critical sections per second *)
+  cycles : int;
+  cross_node_per_cs : float;  (** cross-node transfers per critical section *)
+}
+
+val run : spec -> result
+(** Verifies the protected counter saw every increment exactly once. *)

@@ -1,0 +1,59 @@
+module Barrier = Armb_cpu.Barrier
+module Core = Armb_cpu.Core
+module Machine = Armb_cpu.Machine
+module Ordering = Armb_core.Ordering
+
+(* qnode layout (one line per slot): locked flag at +0 (1 = wait),
+   next-slot + 1 at +8 (0 = none).  The tail word holds slot + 1. *)
+type t = { tail : int; nodes : int array }
+
+let create m ~slots =
+  if slots <= 0 then invalid_arg "Mcs_lock.create";
+  { tail = Machine.alloc_line m; nodes = Array.init slots (fun _ -> Machine.alloc_line m) }
+
+let check_slot t slot =
+  if slot < 0 || slot >= Array.length t.nodes then invalid_arg "Mcs_lock: bad slot"
+
+let acquire t (c : Core.t) ~slot =
+  check_slot t slot;
+  let my = t.nodes.(slot) in
+  Core.store c my 1L;
+  Core.store c (my + 8) 0L;
+  (* publish the reset before linking *)
+  Core.barrier c (Barrier.Dmb St);
+  let prev =
+    Int64.to_int
+      (Core.await c (Core.rmw ~acq:true ~rel:true c t.tail (fun _ -> Int64.of_int (slot + 1))))
+  in
+  if prev <> 0 then begin
+    (* enqueue behind prev and spin on our own flag *)
+    Core.store c (t.nodes.(prev - 1) + 8) (Int64.of_int (slot + 1));
+    ignore (Core.spin_until c my (Int64.equal 0L));
+    Core.barrier c (Barrier.Dmb Ld)
+  end
+
+let release ?(barrier = Ordering.Bar (Barrier.Dmb Full)) t (c : Core.t) ~slot =
+  check_slot t slot;
+  let my = t.nodes.(slot) in
+  let apply () =
+    match barrier with
+    | Ordering.No_barrier -> ()
+    | Ordering.Bar b -> Core.barrier c b
+    | other ->
+      invalid_arg ("Mcs_lock.release: unsupported barrier " ^ Ordering.to_string other)
+  in
+  let nxt = Int64.to_int (Core.await c (Core.load c (my + 8))) in
+  if nxt <> 0 then begin
+    apply ();
+    Core.store c t.nodes.(nxt - 1) 0L
+  end
+  else begin
+    (* no known successor: try to swing the tail back to empty *)
+    let old = Core.await c (Core.cas ~rel:true c t.tail ~expected:(Int64.of_int (slot + 1)) ~desired:0L) in
+    if not (Int64.equal old (Int64.of_int (slot + 1))) then begin
+      (* a successor is linking itself; wait for the link *)
+      let nxt = Int64.to_int (Core.spin_until c (my + 8) (fun v -> not (Int64.equal v 0L))) in
+      apply ();
+      Core.store c t.nodes.(nxt - 1) 0L
+    end
+  end

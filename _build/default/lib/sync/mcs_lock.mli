@@ -1,0 +1,21 @@
+(** Simulated MCS queue lock (Mellor-Crummey & Scott, TOCS'91) — the
+    paper cites it as the scalable in-place lock family used by the
+    Linux kernel.
+
+    Each thread spins on its {e own} qnode's flag instead of a global
+    word, so a release invalidates exactly one waiter's cache line —
+    contrast with the ticket lock's broadcast.  The data→flag handoff
+    in [release] is again the paper's RMR-then-barrier pattern.
+
+    Each participating thread must use a distinct [slot] (its qnode
+    index) and may not re-enter. *)
+
+type t
+
+val create : Armb_cpu.Machine.t -> slots:int -> t
+(** [slots] = maximum number of participating threads. *)
+
+val acquire : t -> Armb_cpu.Core.t -> slot:int -> unit
+
+val release : ?barrier:Armb_core.Ordering.t -> t -> Armb_cpu.Core.t -> slot:int -> unit
+(** [barrier] defaults to [DMB full]. *)

@@ -1,0 +1,44 @@
+(** The SPSC ring with Pilot applied (§4.3-§4.5): the producer
+    piggybacks arrival detection on the message itself through the
+    {!Armb_core.Pilot} codec, eliminating both the fatal publish barrier
+    and the [prodCnt] line — the consumer detects a slot's change
+    directly.  The availability barrier (Algorithm 2 line 3) is kept,
+    as the paper requires.
+
+    Each slot carries the data word and the fallback flag word in the
+    same cache line, so a delivery touches exactly one shared line plus
+    the consumer counter.
+
+    [run_batched] generalizes to messages of [words] x 8 bytes
+    (Figure 6(c)): Pilot is applied to every 64-bit slice; the baseline
+    comparator stores the words then publishes with one DMB st. *)
+
+type spec = {
+  cfg : Armb_cpu.Config.t;
+  producer_core : int;
+  consumer_core : int;
+  slots : int;
+  messages : int;
+  produce_nops : int;
+  consume_nops : int;
+}
+
+val default_spec : Armb_cpu.Config.t -> cores:int * int -> spec
+(** Mirrors {!Spsc_ring.default_spec} so results are comparable. *)
+
+type result = {
+  throughput : float;  (** messages per second *)
+  cycles : int;
+  fallbacks : int;  (** deliveries that used the flag-toggle path *)
+  lines_touched : Armb_mem.Memsys.counters;
+}
+
+val run : ?seed:int -> ?check:bool -> spec -> result
+(** Pilot ring; [check] (default true) verifies every payload. *)
+
+val run_batched : ?seed:int -> ?check:bool -> words:int -> spec -> result
+(** Pilot on every 8-byte slice of a [words]-slice message. *)
+
+val run_batched_baseline : ?check:bool -> words:int -> spec -> result
+(** Best-legal original ring (DMB ld - DMB st) carrying [words]-slice
+    messages, for the Figure 6(c) speedup ratio. *)

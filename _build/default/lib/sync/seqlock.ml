@@ -1,0 +1,77 @@
+module Barrier = Armb_cpu.Barrier
+module Core = Armb_cpu.Core
+module Machine = Armb_cpu.Machine
+
+type t = {
+  seq : int;
+  data : int;
+  words : int;
+  mutable retry_count : int;
+}
+
+let create m ~words =
+  if words < 2 || words > 8 then invalid_arg "Seqlock.create: words must be in 2..8";
+  (* one line per field: a realistic multi-line payload, whose partial
+     visibility is exactly what the protocol must guard against *)
+  { seq = Machine.alloc_line m; data = Machine.alloc_lines m words; words; retry_count = 0 }
+
+(* Payloads carry their own checksum in the last word so tearing is
+   detectable by tests. *)
+let checksum fields =
+  let n = Array.length fields in
+  let acc = ref 0L in
+  for i = 0 to n - 2 do
+    acc := Int64.add (Int64.mul !acc 31L) fields.(i)
+  done;
+  !acc
+
+let make_payload t ~version =
+  let p = Array.init t.words (fun i -> Int64.of_int ((version * 1000) + i)) in
+  p.(t.words - 1) <- checksum p;
+  p
+
+let torn t snapshot =
+  Array.length snapshot <> t.words
+  || not (Int64.equal snapshot.(t.words - 1) (checksum snapshot))
+
+let write ?(protected = true) t (c : Core.t) payload =
+  if Array.length payload <> t.words then invalid_arg "Seqlock.write: wrong payload arity";
+  let seq = Core.await c (Core.load c t.seq) in
+  (* enter: odd sequence *)
+  Core.store c t.seq (Int64.add seq 1L);
+  if protected then Core.barrier c (Barrier.Dmb St);
+  Array.iteri (fun i v -> Core.store c (t.data + (i * 64)) v) payload;
+  if protected then Core.barrier c (Barrier.Dmb St);
+  (* leave: even sequence *)
+  Core.store c t.seq (Int64.add seq 2L)
+
+let read ?(protected = true) t (c : Core.t) =
+  let rec attempt () =
+    let s1 = Core.await c (Core.load c t.seq) in
+    if Int64.rem s1 2L = 1L then begin
+      (* writer in progress: wait for the sequence to move *)
+      t.retry_count <- t.retry_count + 1;
+      ignore (Core.spin_until c t.seq (fun v -> not (Int64.equal v s1)));
+      attempt ()
+    end
+    else begin
+      if protected then Core.barrier c (Barrier.Dmb Ld);
+      (* issue all payload loads, then await: they may overlap *)
+      let toks = Array.init t.words (fun i -> Core.load c (t.data + (i * 64))) in
+      let snapshot = Array.map (fun tok -> Core.await c tok) toks in
+      if protected then Core.barrier c (Barrier.Dmb Ld);
+      let s2 = Core.await c (Core.load c t.seq) in
+      if Int64.equal s1 s2 then snapshot
+      else begin
+        t.retry_count <- t.retry_count + 1;
+        attempt ()
+      end
+    end
+  in
+  attempt ()
+
+let retries t = t.retry_count
+
+let data_addr t i =
+  if i < 0 || i >= t.words then invalid_arg "Seqlock.data_addr";
+  t.data + (i * 64)

@@ -1,0 +1,39 @@
+(** Simulated seqlock — the classic read-mostly publication pattern and
+    a third heavy user of barriers beyond rings and mutexes (the
+    "memory-based communication" family of the paper's §2.4).
+
+    The writer bumps a sequence word to odd, updates the payload words,
+    and bumps it back to even; readers sample the sequence, read the
+    payload, re-check the sequence, and retry on any change.  On a
+    weakly-ordered machine {e four} orderings are needed: writer
+    seq→data and data→seq (store-store: DMB st), reader seq→data and
+    data→seq (load-load: DMB ld / LDAR / address dependencies).
+    [protected = false] drops them all, letting torn reads through —
+    used by tests to demonstrate the hazard, exactly like the paper's
+    "Ideal" references. *)
+
+type t
+
+val create : Armb_cpu.Machine.t -> words:int -> t
+(** A payload of [words] 8-byte fields, one cache line each (plus the
+    sequence line) — partial visibility of a multi-line payload is the
+    hazard the protocol guards against. *)
+
+val write : ?protected:bool -> t -> Armb_cpu.Core.t -> int64 array -> unit
+(** Publish a new payload snapshot ([protected] defaults to true). *)
+
+val read : ?protected:bool -> t -> Armb_cpu.Core.t -> int64 array
+(** Retry loop returning a consistent snapshot (when protected). *)
+
+val torn : t -> int64 array -> bool
+(** Is a snapshot inconsistent (fields from different writes)?  The
+    writer encodes a checksum in the last field to make this decidable. *)
+
+val make_payload : t -> version:int -> int64 array
+(** A well-formed payload for a given version number. *)
+
+val retries : t -> int
+(** Total reader retries so far (host-side accounting). *)
+
+val data_addr : t -> int -> int
+(** Address of the i-th payload field (for placement in tests). *)

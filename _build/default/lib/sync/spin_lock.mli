@@ -1,0 +1,23 @@
+(** Simulated test-and-set spinlock with exponential backoff and
+    pluggable barrier choices — the simplest in-place lock, used as a
+    baseline against the ticket lock and the queue locks.
+
+    Acquire is a CAS loop with acquire semantics (or a plain CAS plus
+    an explicit barrier); release is the paper's §5.1 pattern: a
+    barrier ordering the critical section's accesses before the store
+    that frees the lock. *)
+
+type t
+
+val create : Armb_cpu.Machine.t -> t
+
+val acquire : ?use_ldar:bool -> t -> Armb_cpu.Core.t -> unit
+(** [use_ldar] (default true) attaches acquire semantics to the CAS;
+    otherwise a DMB ld follows the successful CAS. *)
+
+val release : ?barrier:Armb_core.Ordering.t -> t -> Armb_cpu.Core.t -> unit
+(** [barrier] defaults to [DMB full]; [Stlr_release] frees the lock
+    with a store-release. *)
+
+val try_acquire : t -> Armb_cpu.Core.t -> bool
+(** Single CAS attempt (with acquire semantics). *)

@@ -1,0 +1,1 @@
+lib/workloads/dedup.ml: Armb_core Armb_cpu Armb_sim Armb_sync Array Int64 Printf

@@ -1,0 +1,1 @@
+lib/workloads/floorplan.ml: Armb_cpu Armb_mem Armb_sim Armb_sync Array Int64 List Printf

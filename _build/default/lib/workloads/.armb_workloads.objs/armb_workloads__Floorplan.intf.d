@@ -1,0 +1,1 @@
+lib/workloads/floorplan.mli: Armb_cpu

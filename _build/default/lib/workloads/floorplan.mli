@@ -1,0 +1,39 @@
+(** BOTS-floorplan-style branch-and-bound on the simulator
+    (Figure 8(d)).
+
+    Computes the minimum-area floorplan of a set of cells, each with
+    alternative shapes, placed by a divide envelope rule (extend right
+    or stack below).  Workers explore statically-partitioned subtrees;
+    the global best bound lives in shared simulated memory and is read
+    with plain loads (pruning) and updated through a DSM-Synch lock —
+    with or without Pilot — mirroring how BOTS integrates the paper's
+    migratory server lock via OpenMP critical sections.
+
+    The search result is validated against a host-side sequential
+    branch-and-bound, so every run is also a correctness test.  Input
+    sizes are scaled-down stand-ins for BOTS's input.5/15/20
+    (documented in DESIGN.md). *)
+
+type input = Input5 | Input15 | Input20
+
+val input_name : input -> string
+val all_inputs : input list
+
+type spec = {
+  cfg : Armb_cpu.Config.t;
+  input : input;
+  workers : int;
+  pilot : bool;  (** Pilot applied to the bound-update lock *)
+  node_cost : int;  (** simulated cycles of placement arithmetic per tree node *)
+}
+
+val default_spec : Armb_cpu.Config.t -> input:input -> spec
+
+type result = {
+  cycles : int;  (** makespan — the paper reports execution time *)
+  best_area : int;
+  nodes_explored : int;
+  lock_updates : int;
+}
+
+val run : spec -> result

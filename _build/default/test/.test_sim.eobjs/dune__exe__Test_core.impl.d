@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Armb_core Armb_cpu Armb_platform Int64 List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Armb_cpu Armb_mem Int64 List String

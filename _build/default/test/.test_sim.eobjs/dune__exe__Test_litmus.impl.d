@@ -1,0 +1,1 @@
+test/test_litmus.ml: Alcotest Armb_litmus Armb_sim Format List

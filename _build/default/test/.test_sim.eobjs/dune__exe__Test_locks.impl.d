@@ -1,0 +1,1 @@
+test/test_locks.ml: Alcotest Armb_cpu Armb_mem Armb_platform Armb_sync Int64 List

@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest Armb_core Armb_cpu Armb_mem Armb_platform Armb_sim List

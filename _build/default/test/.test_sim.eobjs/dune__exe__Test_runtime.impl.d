@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Armb_runtime Array Domain Fun List QCheck QCheck_alcotest

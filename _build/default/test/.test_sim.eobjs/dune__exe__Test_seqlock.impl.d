@@ -1,0 +1,1 @@
+test/test_seqlock.ml: Alcotest Armb_cpu Armb_mem Armb_platform Armb_runtime Armb_sync Array Domain Int64 List

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Armb_sim Array Event_queue Fun Heap List QCheck QCheck_alcotest Rng Series Stats String

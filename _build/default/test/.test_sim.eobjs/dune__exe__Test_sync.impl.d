@@ -1,0 +1,1 @@
+test/test_sync.ml: Alcotest Armb_core Armb_cpu Armb_mem Armb_platform Armb_sync Int64 List Printf

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Armb_platform Armb_workloads List

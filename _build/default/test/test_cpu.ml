@@ -1,0 +1,520 @@
+(* Tests for the CPU model: micro-op timing, barrier semantics, atomics,
+   spinning and the machine driver. *)
+
+module Barrier = Armb_cpu.Barrier
+module Config = Armb_cpu.Config
+module Core = Armb_cpu.Core
+module Machine = Armb_cpu.Machine
+module Topology = Armb_mem.Topology
+
+let check = Alcotest.check
+
+let cfg : Config.t =
+  {
+    name = "test";
+    freq_ghz = 1.0;
+    topo = Topology.make ~nodes:2 ~clusters_per_node:2 ~cores_per_cluster:4;
+    lat =
+      {
+        l1_hit = 2;
+        same_cluster = 10;
+        same_node = 16;
+        cross_node = 60;
+        dram = 90;
+        bisection_rt = 5;
+        domain_rt = 300;
+        rmw_extra = 6;
+      };
+    alu_ipc = 4;
+    rob_size = 32;
+    sb_size = 8;
+    isb_cost = 20;
+    dmb_min = 2;
+    stlr_extra = 50;
+    quantum = 64;
+  }
+
+let run_one body =
+  let m = Machine.create cfg in
+  let result = ref 0 in
+  Machine.spawn m ~core:0 (fun c -> result := body m c);
+  Machine.run_exn m;
+  !result
+
+(* ---------- compute / issue ---------- *)
+
+let test_compute_ipc () =
+  let cycles = run_one (fun _ c -> Core.compute c 40; Core.cursor c) in
+  check Alcotest.int "40 nops at ipc 4" 10 cycles
+
+let test_compute_rounding () =
+  let cycles = run_one (fun _ c -> Core.compute c 41; Core.cursor c) in
+  check Alcotest.int "ceil(41/4)" 11 cycles
+
+let test_compute_zero () =
+  let cycles = run_one (fun _ c -> Core.compute c 0; Core.cursor c) in
+  check Alcotest.int "free" 0 cycles
+
+let test_compute_negative () =
+  let m = Machine.create cfg in
+  Machine.spawn m ~core:0 (fun c -> Core.compute c (-1));
+  match Machine.run_exn m with
+  | () -> Alcotest.fail "negative compute must be rejected"
+  | exception Machine.Simulation_error _ -> ()
+
+(* ---------- loads and stores ---------- *)
+
+let test_store_load_roundtrip () =
+  let v =
+    run_one (fun m c ->
+        let a = Machine.alloc_line m in
+        Core.store c a 99L;
+        Int64.to_int (Core.await c (Core.load c a)))
+  in
+  check Alcotest.int "forwarded value" 99 v
+
+let test_store_forwarding_is_fast () =
+  let cycles =
+    run_one (fun m c ->
+        let a = Machine.alloc_line m in
+        Core.store c a 1L;
+        ignore (Core.await c (Core.load c a));
+        Core.cursor c)
+  in
+  check Alcotest.bool "forwarding beats dram" true (cycles < 20)
+
+let test_load_miss_costs_dram () =
+  let cycles =
+    run_one (fun m c ->
+        let a = Machine.alloc_line m in
+        ignore (Core.await c (Core.load c a));
+        Core.cursor c)
+  in
+  check Alcotest.int "dram latency on cold load" 90 cycles
+
+let test_unawaited_loads_overlap () =
+  let cycles =
+    run_one (fun m c ->
+        let a = Machine.alloc_line m and b = Machine.alloc_line m in
+        let t1 = Core.load c a in
+        let t2 = Core.load c b in
+        ignore (Core.await c t1);
+        ignore (Core.await c t2);
+        Core.cursor c)
+  in
+  check Alcotest.bool "misses pipeline" true (cycles < 110)
+
+let test_awaited_loads_serialize () =
+  let cycles =
+    run_one (fun m c ->
+        let a = Machine.alloc_line m and b = Machine.alloc_line m in
+        ignore (Core.await c (Core.load c a));
+        ignore (Core.await c (Core.load c b));
+        Core.cursor c)
+  in
+  check Alcotest.bool "dependent chain serializes" true (cycles >= 180)
+
+let test_value_of_completed_token () =
+  let v =
+    run_one (fun m c ->
+        let a = Machine.alloc_line m in
+        Core.store c a 5L;
+        let tok = Core.load c a in
+        ignore (Core.await c tok);
+        Int64.to_int (Core.value tok))
+  in
+  check Alcotest.int "value after await" 5 v
+
+let test_sb_capacity_stalls () =
+  (* sb_size = 8; issuing many cold stores must stall on drain space *)
+  let cycles =
+    run_one (fun m c ->
+        for _ = 1 to 20 do
+          let a = Machine.alloc_line m in
+          Core.store c a 1L
+        done;
+        Core.cursor c)
+  in
+  check Alcotest.bool "store-buffer backpressure" true (cycles > 90)
+
+(* ---------- barriers ---------- *)
+
+let elapsed_with body =
+  run_one (fun m c ->
+      body m c;
+      Core.cursor c)
+
+let test_dsb_blocks_everything () =
+  let base = elapsed_with (fun _ c -> Core.compute c 40) in
+  let with_dsb =
+    elapsed_with (fun _ c ->
+        Core.compute c 20;
+        Core.barrier c (Barrier.Dsb Full);
+        Core.compute c 20)
+  in
+  check Alcotest.bool "DSB costs the domain round trip" true
+    (with_dsb >= base + cfg.lat.domain_rt)
+
+let test_dmb_cheap_without_memory () =
+  let base = elapsed_with (fun _ c -> Core.compute c 40) in
+  let with_dmb =
+    elapsed_with (fun _ c ->
+        Core.compute c 20;
+        Core.barrier c (Barrier.Dmb Full);
+        Core.compute c 20)
+  in
+  check Alcotest.bool "internally terminated DMB is cheap" true (with_dmb <= base + 5)
+
+let test_isb_flushes () =
+  let base = elapsed_with (fun _ c -> Core.compute c 40) in
+  let with_isb =
+    elapsed_with (fun _ c ->
+        Core.compute c 20;
+        Core.barrier c Barrier.Isb;
+        Core.compute c 20)
+  in
+  check Alcotest.bool "ISB pays the flush" true (with_isb >= base + cfg.isb_cost)
+
+let test_dmb_st_orders_stores () =
+  (* Two threads: writer stores data then flag with DMB st; reader polls
+     flag then reads data.  The stale read must never occur. *)
+  let m = Machine.create cfg in
+  let data = Machine.alloc_line m and flag = Machine.alloc_line m in
+  (* make data expensive for the writer: reader owns it *)
+  Armb_mem.Memsys.place (Machine.mem m) ~core:8 ~addr:data;
+  let seen = ref (-1) in
+  Machine.spawn m ~core:0 (fun c ->
+      Core.store c data 23L;
+      Core.barrier c (Barrier.Dmb St);
+      Core.store c flag 1L);
+  Machine.spawn m ~core:8 (fun c ->
+      ignore (Core.spin_until c flag (Int64.equal 1L));
+      Core.barrier c (Barrier.Dmb Ld);
+      seen := Int64.to_int (Core.await c (Core.load c data)));
+  Machine.run_exn m;
+  check Alcotest.int "no stale read through DMB st" 23 !seen
+
+let test_no_barrier_allows_stale_read () =
+  (* Same shape without barriers: with the data line remote and the flag
+     line local, the stale read is observable. *)
+  let m = Machine.create cfg in
+  let data = Machine.alloc_line m and flag = Machine.alloc_line m in
+  Armb_mem.Memsys.place (Machine.mem m) ~core:8 ~addr:data;
+  Armb_mem.Memsys.place (Machine.mem m) ~core:0 ~addr:flag;
+  let seen = ref (-1) in
+  Machine.spawn m ~core:0 (fun c ->
+      Core.store c data 23L;
+      Core.store c flag 1L);
+  Machine.spawn m ~core:8 (fun c ->
+      let f = Core.load c flag in
+      let d = Core.load c data in
+      let fv = Core.await c f and dv = Core.await c d in
+      if Int64.equal fv 1L then seen := Int64.to_int dv);
+  Machine.run_exn m;
+  check Alcotest.int "weak behaviour observable" 0 !seen
+
+let test_dmb_full_backpressures_alu () =
+  (* A DMB full pending on a slow drain occupies the window: a large nop
+     batch behind it cannot all issue during the wait. *)
+  let m = Machine.create cfg in
+  let a = Machine.alloc_line m in
+  Armb_mem.Memsys.place (Machine.mem m) ~core:8 ~addr:a;
+  let no_barrier = ref 0 and with_barrier = ref 0 in
+  Machine.spawn m ~core:0 (fun c ->
+      Core.store c a 1L;
+      Core.compute c 400;
+      no_barrier := Core.cursor c);
+  Machine.run_exn m;
+  let m2 = Machine.create cfg in
+  let b = Machine.alloc_line m2 in
+  Armb_mem.Memsys.place (Machine.mem m2) ~core:8 ~addr:b;
+  Machine.spawn m2 ~core:0 (fun c ->
+      Core.store c b 1L;
+      Core.barrier c (Barrier.Dmb Full);
+      Core.compute c 400;
+      with_barrier := Core.cursor c);
+  Machine.run_exn m2;
+  check Alcotest.bool "nops stall behind pending DMB full" true
+    (!with_barrier > !no_barrier + 30)
+
+let test_stlr_waits_for_prior () =
+  let m = Machine.create cfg in
+  let data = Machine.alloc_line m and flag = Machine.alloc_line m in
+  Armb_mem.Memsys.place (Machine.mem m) ~core:8 ~addr:data;
+  Armb_mem.Memsys.place (Machine.mem m) ~core:0 ~addr:flag;
+  let seen = ref (-1) in
+  Machine.spawn m ~core:0 (fun c ->
+      Core.store c data 23L;
+      Core.stlr c flag 1L);
+  Machine.spawn m ~core:8 (fun c ->
+      ignore (Core.spin_until c flag (Int64.equal 1L));
+      Core.barrier c (Barrier.Dmb Ld);
+      seen := Int64.to_int (Core.await c (Core.load c data)));
+  Machine.run_exn m;
+  check Alcotest.int "release ordering" 23 !seen
+
+let test_ldar_gates_later_accesses () =
+  (* acquire: a load after an LDAR cannot complete before it *)
+  let cycles =
+    run_one (fun m c ->
+        let a = Machine.alloc_line m and b = Machine.alloc_line m in
+        Core.store c b 1L;
+        let t1 = Core.ldar c a in
+        let t2 = Core.load c b in
+        ignore (Core.await c t2);
+        ignore (Core.await c t1);
+        Core.cursor c)
+  in
+  check Alcotest.bool "second load gated by acquire" true (cycles >= 90)
+
+(* ---------- atomics ---------- *)
+
+let test_fetch_add_atomic () =
+  let m = Machine.create cfg in
+  let a = Machine.alloc_line m in
+  let iters = 50 in
+  for core = 0 to 3 do
+    Machine.spawn m ~core (fun c ->
+        for _ = 1 to iters do
+          ignore (Core.await c (Core.fetch_add c a 1L))
+        done)
+  done;
+  Machine.run_exn m;
+  check Alcotest.int64 "no lost updates" (Int64.of_int (4 * iters))
+    (Armb_mem.Memsys.load_value (Machine.mem m) ~addr:a)
+
+let test_fetch_add_returns_old () =
+  let v =
+    run_one (fun m c ->
+        let a = Machine.alloc_line m in
+        Core.store c a 10L;
+        Int64.to_int (Core.await c (Core.fetch_add c a 5L)))
+  in
+  check Alcotest.int "old value" 10 v
+
+let test_cas_success_and_failure () =
+  let ok =
+    run_one (fun m c ->
+        let a = Machine.alloc_line m in
+        Core.store c a 1L;
+        let old = Core.await c (Core.cas c a ~expected:1L ~desired:2L) in
+        let old2 = Core.await c (Core.cas c a ~expected:1L ~desired:3L) in
+        if Int64.equal old 1L && Int64.equal old2 2L then 1 else 0)
+  in
+  check Alcotest.int "cas semantics" 1 ok
+
+let test_cas_exclusive () =
+  (* only one of N concurrent CAS(0 -> id) winners *)
+  let m = Machine.create cfg in
+  let a = Machine.alloc_line m in
+  let winners = ref 0 in
+  for core = 0 to 7 do
+    Machine.spawn m ~core (fun c ->
+        let old = Core.await c (Core.cas c a ~expected:0L ~desired:(Int64.of_int (core + 1))) in
+        if Int64.equal old 0L then incr winners)
+  done;
+  Machine.run_exn m;
+  check Alcotest.int "exactly one winner" 1 !winners
+
+(* ---------- spinning ---------- *)
+
+let test_spin_wakes_on_store () =
+  let m = Machine.create cfg in
+  let a = Machine.alloc_line m in
+  let woken_at = ref 0 in
+  Machine.spawn m ~core:0 (fun c ->
+      ignore (Core.spin_until c a (Int64.equal 7L));
+      woken_at := Core.cursor c);
+  Machine.spawn m ~core:1 (fun c ->
+      Core.compute c 200;
+      Core.store c a 7L);
+  Machine.run_exn m;
+  check Alcotest.bool "woke after the store" true (!woken_at >= 50)
+
+let test_spin_poll_two_words () =
+  let m = Machine.create cfg in
+  let a = Machine.alloc_line m in
+  let seen = ref (0, 0) in
+  Machine.spawn m ~core:0 (fun c ->
+      let v =
+        Core.spin_poll c a (fun () ->
+            let x = Core.await c (Core.load c a) in
+            let y = Core.await c (Core.load c (a + 8)) in
+            if Int64.equal x 1L && Int64.equal y 2L then Some (x, y) else None)
+      in
+      seen := (Int64.to_int (fst v), Int64.to_int (snd v)));
+  Machine.spawn m ~core:1 (fun c ->
+      Core.compute c 100;
+      Core.store c (a + 8) 2L;
+      Core.compute c 100;
+      Core.store c a 1L);
+  Machine.run_exn m;
+  check (Alcotest.pair Alcotest.int Alcotest.int) "both words" (1, 2) !seen
+
+let test_deadlock_detection () =
+  let m = Machine.create cfg in
+  let a = Machine.alloc_line m in
+  Machine.spawn m ~core:0 (fun c -> ignore (Core.spin_until c a (Int64.equal 1L)));
+  (match Machine.run m with
+  | Machine.Deadlock [ 0 ] -> ()
+  | _ -> Alcotest.fail "expected deadlock on core 0")
+
+(* ---------- machine ---------- *)
+
+let test_alloc_alignment () =
+  let m = Machine.create cfg in
+  let a = Machine.alloc_line m and b = Machine.alloc_line m in
+  check Alcotest.int "64-byte aligned" 0 (a mod 64);
+  check Alcotest.bool "distinct lines" true
+    (Armb_mem.Memsys.line_of a <> Armb_mem.Memsys.line_of b)
+
+let test_spawn_validation () =
+  let m = Machine.create cfg in
+  Machine.spawn m ~core:0 (fun _ -> ());
+  Alcotest.check_raises "duplicate spawn"
+    (Machine.Simulation_error "spawn: core 0 already has a thread") (fun () ->
+      Machine.spawn m ~core:0 (fun _ -> ()));
+  Alcotest.check_raises "core out of range"
+    (Machine.Simulation_error "spawn: core 99 out of range") (fun () ->
+      Machine.spawn m ~core:99 (fun _ -> ()))
+
+let test_throughput_freq () =
+  let m = Machine.create cfg in
+  Machine.spawn m ~core:0 (fun c -> Core.compute c 4000);
+  Machine.run_exn m;
+  (* 1000 cycles at 1 GHz; 1000 ops -> 1e9 ops/s *)
+  check (Alcotest.float 1e3) "ops per second" 1e9 (Machine.throughput m ~ops:1000)
+
+let test_counters_track_ops () =
+  let m = Machine.create cfg in
+  let a = Machine.alloc_line m in
+  Machine.spawn m ~core:0 (fun c ->
+      Core.store c a 1L;
+      ignore (Core.await c (Core.load c a));
+      Core.barrier c (Barrier.Dmb Full);
+      ignore (Core.await c (Core.fetch_add c a 1L)));
+  Machine.run_exn m;
+  let ctr = Core.counters (Machine.core m 0) in
+  check Alcotest.int "loads" 1 ctr.Core.loads;
+  check Alcotest.int "stores" 1 ctr.Core.stores;
+  check Alcotest.int "barriers" 1 ctr.Core.barriers;
+  check Alcotest.int "rmws" 1 ctr.Core.rmws
+
+let test_quantum_interleaving () =
+  (* Two threads hammering the same line must alternate ownership, which
+     requires neither to run to completion first. *)
+  let m = Machine.create cfg in
+  let a = Machine.alloc_line m in
+  let iters = 100 in
+  for core = 0 to 1 do
+    Machine.spawn m ~core (fun c ->
+        for _ = 1 to iters do
+          ignore (Core.await c (Core.load c a));
+          Core.compute c 8
+        done)
+  done;
+  Machine.run_exn m;
+  let c0 = Core.cursor (Machine.core m 0) and c1 = Core.cursor (Machine.core m 1) in
+  check Alcotest.bool "threads finish at comparable times" true
+    (abs (c0 - c1) < (c0 + c1) / 2)
+
+(* ---------- tracing ---------- *)
+
+let test_trace_collects_spans () =
+  let tr = Armb_cpu.Trace.create () in
+  let m = Machine.create ~tracer:(Armb_cpu.Trace.emit tr) cfg in
+  let a = Machine.alloc_line m in
+  Machine.spawn m ~core:0 (fun c ->
+      Core.compute c 20;
+      Core.store c a 1L;
+      ignore (Core.await c (Core.load c a));
+      Core.barrier c (Barrier.Dmb Full));
+  Machine.run_exn m;
+  let spans = Armb_cpu.Trace.spans tr in
+  let kinds = List.sort_uniq compare (List.map (fun s -> s.Armb_cpu.Trace.kind) spans) in
+  check Alcotest.bool "compute traced" true (List.mem "compute" kinds);
+  check Alcotest.bool "store traced" true (List.mem "store" kinds);
+  check Alcotest.bool "barrier traced" true (List.mem "barrier" kinds);
+  List.iter
+    (fun (s : Armb_cpu.Trace.span) ->
+      if s.start_cycle < 0 || s.duration < 0 then Alcotest.fail "negative span")
+    spans
+
+let test_trace_json_wellformed () =
+  let tr = Armb_cpu.Trace.create () in
+  Armb_cpu.Trace.emit tr
+    { Armb_cpu.Trace.core = 1; kind = "load"; name = "ld \"quoted\"\n"; start_cycle = 5; duration = 7 };
+  let json = Armb_cpu.Trace.to_chrome_json tr in
+  check Alcotest.bool "escapes quotes" true
+    (String.length json > 0 && not (String.contains (String.concat "" (String.split_on_char '\\' json)) '\n'))
+
+let test_trace_limit_drops () =
+  let tr = Armb_cpu.Trace.create ~limit:3 () in
+  for i = 1 to 10 do
+    Armb_cpu.Trace.emit tr
+      { Armb_cpu.Trace.core = 0; kind = "x"; name = "y"; start_cycle = i; duration = 1 }
+  done;
+  check Alcotest.int "kept" 3 (List.length (Armb_cpu.Trace.spans tr));
+  check Alcotest.int "dropped" 7 (Armb_cpu.Trace.dropped tr)
+
+let () =
+  Alcotest.run "armb_cpu"
+    [
+      ( "compute",
+        [
+          Alcotest.test_case "ipc" `Quick test_compute_ipc;
+          Alcotest.test_case "rounding" `Quick test_compute_rounding;
+          Alcotest.test_case "zero" `Quick test_compute_zero;
+          Alcotest.test_case "negative rejected" `Quick test_compute_negative;
+        ] );
+      ( "memory-ops",
+        [
+          Alcotest.test_case "store-load roundtrip" `Quick test_store_load_roundtrip;
+          Alcotest.test_case "forwarding fast" `Quick test_store_forwarding_is_fast;
+          Alcotest.test_case "cold load = dram" `Quick test_load_miss_costs_dram;
+          Alcotest.test_case "independent loads overlap" `Quick test_unawaited_loads_overlap;
+          Alcotest.test_case "dependent loads serialize" `Quick test_awaited_loads_serialize;
+          Alcotest.test_case "token value" `Quick test_value_of_completed_token;
+          Alcotest.test_case "store-buffer backpressure" `Quick test_sb_capacity_stalls;
+        ] );
+      ( "barriers",
+        [
+          Alcotest.test_case "DSB blocks everything" `Quick test_dsb_blocks_everything;
+          Alcotest.test_case "idle DMB cheap" `Quick test_dmb_cheap_without_memory;
+          Alcotest.test_case "ISB flush cost" `Quick test_isb_flushes;
+          Alcotest.test_case "DMB st orders stores" `Quick test_dmb_st_orders_stores;
+          Alcotest.test_case "stale read without barriers" `Quick
+            test_no_barrier_allows_stale_read;
+          Alcotest.test_case "DMB full backpressures ALU" `Quick
+            test_dmb_full_backpressures_alu;
+          Alcotest.test_case "STLR release ordering" `Quick test_stlr_waits_for_prior;
+          Alcotest.test_case "LDAR acquire gating" `Quick test_ldar_gates_later_accesses;
+        ] );
+      ( "atomics",
+        [
+          Alcotest.test_case "fetch_add atomic" `Quick test_fetch_add_atomic;
+          Alcotest.test_case "fetch_add returns old" `Quick test_fetch_add_returns_old;
+          Alcotest.test_case "cas semantics" `Quick test_cas_success_and_failure;
+          Alcotest.test_case "cas exclusivity" `Quick test_cas_exclusive;
+        ] );
+      ( "spinning",
+        [
+          Alcotest.test_case "spin wakes on store" `Quick test_spin_wakes_on_store;
+          Alcotest.test_case "spin_poll two words" `Quick test_spin_poll_two_words;
+          Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "line allocation" `Quick test_alloc_alignment;
+          Alcotest.test_case "spawn validation" `Quick test_spawn_validation;
+          Alcotest.test_case "throughput conversion" `Quick test_throughput_freq;
+          Alcotest.test_case "op counters" `Quick test_counters_track_ops;
+          Alcotest.test_case "quantum interleaving" `Quick test_quantum_interleaving;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "collects spans" `Quick test_trace_collects_spans;
+          Alcotest.test_case "json escaping" `Quick test_trace_json_wellformed;
+          Alcotest.test_case "limit drops" `Quick test_trace_limit_drops;
+        ] );
+    ]

@@ -1,0 +1,174 @@
+(* Tests for the litmus layer: the exhaustive enumerator against known
+   results, the simulator runner, and the cross-check between them. *)
+
+module Lang = Armb_litmus.Lang
+module Enum = Armb_litmus.Enumerate
+module Sim = Armb_litmus.Sim_runner
+module Cat = Armb_litmus.Catalogue
+
+let check = Alcotest.check
+
+(* ---------- language ---------- *)
+
+let test_vars_collects () =
+  check (Alcotest.list Alcotest.string) "vars" [ "data"; "flag" ] (Lang.vars Cat.mp)
+
+let test_regs_of_thread () =
+  match Cat.mp.Lang.threads with
+  | [ _; consumer ] ->
+    check (Alcotest.list Alcotest.string) "consumer regs" [ "r1"; "r2" ]
+      (Lang.regs_of_thread consumer)
+  | _ -> Alcotest.fail "unexpected thread count"
+
+let test_reads_regs () =
+  let i = Lang.st_reg "y" "r1" in
+  check (Alcotest.list Alcotest.string) "data dep" [ "r1" ] (Lang.reads_regs i);
+  let j = Lang.ld ~addr_dep:"r0" "x" "r2" in
+  check (Alcotest.list Alcotest.string) "addr dep" [ "r0" ] (Lang.reads_regs j)
+
+(* ---------- enumerator vs textbook results ---------- *)
+
+let test_catalogue_expectations () =
+  List.iter
+    (fun (t : Lang.test) ->
+      let ok, detail = Enum.verify_expectations t in
+      if not ok then Alcotest.failf "%s: %s" t.Lang.name detail)
+    Cat.all
+
+let test_sc_outcomes_present () =
+  (* every model must at least allow the sequential outcome of MP *)
+  let outs = Enum.enumerate Enum.Tso Cat.mp in
+  check Alcotest.bool "TSO allows flag+data" true
+    (List.exists
+       (fun o ->
+         List.assoc_opt "1:r1" o = Some 1L && List.assoc_opt "1:r2" o = Some 23L)
+       outs)
+
+let test_wmm_superset_of_tso () =
+  (* anything TSO allows, the weaker model allows too *)
+  List.iter
+    (fun (t : Lang.test) ->
+      let tso = Enum.enumerate Enum.Tso t in
+      let wmm = Enum.enumerate Enum.Wmm t in
+      List.iter
+        (fun o ->
+          if not (List.mem o wmm) then
+            Alcotest.failf "%s: TSO outcome %s missing under WMM" t.Lang.name
+              (Enum.outcome_to_string o))
+        tso)
+    Cat.all
+
+let test_fences_monotone () =
+  (* adding fences can only shrink the outcome set *)
+  let plain = Enum.enumerate Enum.Wmm Cat.mp in
+  let fenced = Enum.enumerate Enum.Wmm Cat.mp_dmb in
+  check Alcotest.bool "fenced subset of plain" true
+    (List.for_all (fun o -> List.mem o plain) fenced);
+  check Alcotest.bool "strictly smaller here" true
+    (List.length fenced < List.length plain)
+
+let test_coherence_always () =
+  (* CoRR is forbidden even under the weak model *)
+  check Alcotest.bool "CoRR forbidden" false (Enum.allows Enum.Wmm Cat.coherence)
+
+(* ---------- simulator runner ---------- *)
+
+let test_sim_witnesses_mp () =
+  let r = Sim.run ~trials:300 Cat.mp in
+  check Alcotest.bool "MP weak outcome witnessed" true r.Sim.interesting_witnessed
+
+let test_sim_never_forbidden () =
+  List.iter
+    (fun (t : Lang.test) ->
+      if not t.Lang.expect_wmm then begin
+        let r = Sim.run ~trials:200 t in
+        if r.Sim.interesting_witnessed then
+          Alcotest.failf "%s: simulator witnessed a WMM-forbidden outcome" t.Lang.name
+      end)
+    Cat.all
+
+let test_sim_outcomes_within_enumerated () =
+  (* soundness cross-check: every simulated outcome must be allowed by
+     the operational model *)
+  List.iter
+    (fun (t : Lang.test) ->
+      let allowed =
+        List.map Enum.outcome_to_string (Enum.enumerate Enum.Wmm t)
+      in
+      let r = Sim.run ~trials:150 t in
+      List.iter
+        (fun (o, _) ->
+          if not (List.mem o allowed) then
+            Alcotest.failf "%s: simulated outcome %s not in the operational model"
+              t.Lang.name o)
+        r.Sim.outcomes)
+    Cat.all
+
+let test_sim_deterministic_given_seed () =
+  let a = Sim.run ~trials:50 ~seed:9 Cat.sb in
+  let b = Sim.run ~trials:50 ~seed:9 Cat.sb in
+  check Alcotest.bool "same seed, same histogram" true (a.Sim.outcomes = b.Sim.outcomes)
+
+let test_sim_consistency_predicate () =
+  let r = Sim.run ~trials:100 Cat.mp_dmb in
+  check Alcotest.bool "consistent" true (Sim.consistent_with_model r Cat.mp_dmb)
+
+(* ---------- differential fuzzing ---------- *)
+
+let test_fuzz_no_violations () =
+  let r = Armb_litmus.Fuzz.run ~tests:60 ~trials_per_test:50 ~seed:2718 () in
+  if r.Armb_litmus.Fuzz.violations <> [] then
+    Alcotest.failf "%s" (Format.asprintf "%a" Armb_litmus.Fuzz.pp_report r);
+  check Alcotest.bool "outcomes were actually checked" true
+    (r.Armb_litmus.Fuzz.sim_outcomes_checked > 50)
+
+let test_fuzz_generator_wellformed () =
+  (* generated tests must enumerate without error and have consistent
+     register naming *)
+  let rng = Armb_sim.Rng.create 5 in
+  for _ = 1 to 30 do
+    let t = Armb_litmus.Fuzz.generate rng in
+    let outs = Enum.enumerate Enum.Wmm t in
+    check Alcotest.bool "at least one outcome" true (outs <> []);
+    List.iter
+      (fun th ->
+        let regs = Lang.regs_of_thread th in
+        let sorted = List.sort_uniq compare regs in
+        check Alcotest.int "unique registers per thread" (List.length regs)
+          (List.length sorted))
+      t.Lang.threads
+  done
+
+let () =
+  Alcotest.run "armb_litmus"
+    [
+      ( "lang",
+        [
+          Alcotest.test_case "vars" `Quick test_vars_collects;
+          Alcotest.test_case "regs of thread" `Quick test_regs_of_thread;
+          Alcotest.test_case "register reads" `Quick test_reads_regs;
+        ] );
+      ( "enumerate",
+        [
+          Alcotest.test_case "catalogue expectations" `Quick test_catalogue_expectations;
+          Alcotest.test_case "SC outcome present" `Quick test_sc_outcomes_present;
+          Alcotest.test_case "WMM superset of TSO" `Quick test_wmm_superset_of_tso;
+          Alcotest.test_case "fences monotone" `Quick test_fences_monotone;
+          Alcotest.test_case "coherence forbidden" `Quick test_coherence_always;
+        ] );
+      ( "sim-runner",
+        [
+          Alcotest.test_case "witnesses MP" `Slow test_sim_witnesses_mp;
+          Alcotest.test_case "never witnesses forbidden" `Slow test_sim_never_forbidden;
+          Alcotest.test_case "sound wrt operational model" `Slow
+            test_sim_outcomes_within_enumerated;
+          Alcotest.test_case "deterministic per seed" `Quick test_sim_deterministic_given_seed;
+          Alcotest.test_case "consistency predicate" `Quick test_sim_consistency_predicate;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "generator well-formed" `Quick test_fuzz_generator_wellformed;
+          Alcotest.test_case "differential: sim within operational model" `Slow
+            test_fuzz_no_violations;
+        ] );
+    ]

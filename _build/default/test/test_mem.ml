@@ -1,0 +1,307 @@
+(* Tests for the memory subsystem: topology, latency, coherence
+   directory, value store and watches. *)
+
+module Topology = Armb_mem.Topology
+module Latency = Armb_mem.Latency
+module Memsys = Armb_mem.Memsys
+
+let check = Alcotest.check
+
+let lat : Latency.t =
+  {
+    l1_hit = 2;
+    same_cluster = 10;
+    same_node = 16;
+    cross_node = 60;
+    dram = 90;
+    bisection_rt = 5;
+    domain_rt = 300;
+    rmw_extra = 6;
+  }
+
+let topo2x2x4 () = Topology.make ~nodes:2 ~clusters_per_node:2 ~cores_per_cluster:4
+
+let mk () = Memsys.create ~topo:(topo2x2x4 ()) ~lat
+
+(* ---------- Topology ---------- *)
+
+let test_topo_shape () =
+  let t = topo2x2x4 () in
+  check Alcotest.int "cores" 16 (Topology.num_cores t);
+  check Alcotest.int "clusters" 4 (Topology.num_clusters t);
+  check Alcotest.int "nodes" 2 (Topology.num_nodes t);
+  check Alcotest.int "cluster of core 5" 1 (Topology.cluster_of t 5);
+  check Alcotest.int "node of core 9" 1 (Topology.node_of t 9)
+
+let dist = Alcotest.testable Topology.pp_distance ( = )
+
+let test_topo_distance () =
+  let t = topo2x2x4 () in
+  check dist "same core" Topology.Same_core (Topology.distance t 3 3);
+  check dist "same cluster" Topology.Same_cluster (Topology.distance t 0 3);
+  check dist "same node" Topology.Same_node (Topology.distance t 0 4);
+  check dist "cross node" Topology.Cross_node (Topology.distance t 0 8);
+  check dist "symmetric" (Topology.distance t 8 0) (Topology.distance t 0 8)
+
+let test_topo_heterogeneous () =
+  let t = Topology.heterogeneous ~nodes:1 ~cluster_sizes:[ 4; 4 ] in
+  check Alcotest.int "cores" 8 (Topology.num_cores t);
+  check Alcotest.int "clusters" 2 (Topology.num_clusters t);
+  check (Alcotest.list Alcotest.int) "big cluster" [ 0; 1; 2; 3 ] (Topology.cores_of_cluster t 0);
+  check dist "big-little distance" Topology.Same_node (Topology.distance t 0 4)
+
+let test_topo_bounds () =
+  let t = topo2x2x4 () in
+  Alcotest.check_raises "core out of range"
+    (Invalid_argument "Topology: core out of range") (fun () ->
+      ignore (Topology.distance t 0 16));
+  Alcotest.check_raises "too many cores"
+    (Invalid_argument "Topology: too many cores") (fun () ->
+      ignore (Topology.make ~nodes:2 ~clusters_per_node:8 ~cores_per_cluster:4))
+
+let test_topo_node_listing () =
+  let t = topo2x2x4 () in
+  check (Alcotest.list Alcotest.int) "node 1 cores" [ 8; 9; 10; 11; 12; 13; 14; 15 ]
+    (Topology.cores_of_node t 1)
+
+(* ---------- Latency ---------- *)
+
+let test_latency_transfer () =
+  check Alcotest.int "same core = hit" 2 (Latency.transfer lat Topology.Same_core);
+  check Alcotest.int "cross node" 60 (Latency.transfer lat Topology.Cross_node)
+
+(* ---------- Coherence timing ---------- *)
+
+let test_read_miss_then_hit () =
+  let m = mk () in
+  let a1 = Memsys.read m ~now:0 ~core:0 ~addr:0x1000 in
+  check Alcotest.bool "first read misses (dram)" false a1.Memsys.hit;
+  check Alcotest.int "dram latency" 90 a1.Memsys.latency;
+  let a2 = Memsys.read m ~now:100 ~core:0 ~addr:0x1000 in
+  check Alcotest.bool "second read hits" true a2.Memsys.hit;
+  check Alcotest.int "hit latency" 2 a2.Memsys.latency
+
+let test_read_from_owner_distance () =
+  let m = mk () in
+  ignore (Memsys.write_begin m ~now:0 ~core:0 ~addr:0x1000);
+  Memsys.write_finish m ~now:10 ~core:0 ~addr:0x1000;
+  let near = Memsys.read m ~now:100 ~core:1 ~addr:0x1000 in
+  check Alcotest.int "same-cluster transfer" 10 near.Memsys.latency;
+  ignore (Memsys.write_begin m ~now:200 ~core:0 ~addr:0x2000);
+  Memsys.write_finish m ~now:210 ~core:0 ~addr:0x2000;
+  let far = Memsys.read m ~now:300 ~core:8 ~addr:0x2000 in
+  check Alcotest.int "cross-node transfer" 60 far.Memsys.latency;
+  check Alcotest.bool "flagged cross-node" true far.Memsys.cross_node
+
+let test_write_invalidates_sharers_at_finish () =
+  let m = mk () in
+  (* two sharers *)
+  ignore (Memsys.read m ~now:0 ~core:1 ~addr:0x1000);
+  ignore (Memsys.read m ~now:100 ~core:8 ~addr:0x1000);
+  let w = Memsys.write_begin m ~now:200 ~core:0 ~addr:0x1000 in
+  (* must wait for the farthest sharer (cross-node) *)
+  check Alcotest.int "invalidation latency" 60 w.Memsys.latency;
+  check Alcotest.bool "cross-node invalidation" true w.Memsys.cross_node;
+  (* before the drain finishes, core 1 still hits its old copy *)
+  let r = Memsys.read m ~now:210 ~core:1 ~addr:0x1000 in
+  check Alcotest.bool "old copy readable before finish" true r.Memsys.hit;
+  Memsys.write_finish m ~now:260 ~core:0 ~addr:0x1000;
+  let r2 = Memsys.read m ~now:300 ~core:1 ~addr:0x1000 in
+  check Alcotest.bool "invalidated after finish" false r2.Memsys.hit
+
+let test_write_own_line_cheap () =
+  let m = mk () in
+  ignore (Memsys.write_begin m ~now:0 ~core:0 ~addr:0x1000);
+  Memsys.write_finish m ~now:90 ~core:0 ~addr:0x1000;
+  let w = Memsys.write_begin m ~now:200 ~core:0 ~addr:0x1000 in
+  check Alcotest.bool "owned write hits" true w.Memsys.hit;
+  check Alcotest.int "hit latency" 2 w.Memsys.latency
+
+let test_write_coalesce_pending () =
+  let m = mk () in
+  ignore (Memsys.read m ~now:0 ~core:8 ~addr:0x1000);
+  let w1 = Memsys.write_begin m ~now:100 ~core:0 ~addr:0x1000 in
+  check Alcotest.int "first drain remote" 60 w1.Memsys.latency;
+  let w2 = Memsys.write_begin m ~now:110 ~core:0 ~addr:0x1000 in
+  check Alcotest.bool "coalesced" true w2.Memsys.hit;
+  check Alcotest.int "completes with the pending drain" 50 w2.Memsys.latency
+
+let test_line_serialization () =
+  let m = mk () in
+  ignore (Memsys.read m ~now:0 ~core:4 ~addr:0x1000);
+  let w1 = Memsys.write_begin m ~now:100 ~core:0 ~addr:0x1000 in
+  let w2 = Memsys.write_begin m ~now:100 ~core:8 ~addr:0x1000 in
+  check Alcotest.bool "competing writers serialize" true
+    (w2.Memsys.latency > w1.Memsys.latency)
+
+let test_hit_waits_for_fill () =
+  let m = mk () in
+  ignore (Memsys.write_begin m ~now:0 ~core:8 ~addr:0x1000);
+  Memsys.write_finish m ~now:60 ~core:8 ~addr:0x1000;
+  (* core 0 misses at t=100; the line arrives at 160 *)
+  let miss = Memsys.read m ~now:100 ~core:0 ~addr:0x1000 in
+  check Alcotest.int "miss latency" 60 miss.Memsys.latency;
+  (* an immediately-following hit cannot complete before the fill *)
+  let hit = Memsys.read m ~now:102 ~core:0 ~addr:0x1000 in
+  check Alcotest.bool "hit" true hit.Memsys.hit;
+  check Alcotest.int "hit completion clamped to fill" 58 hit.Memsys.latency
+
+let test_rmw_surcharge () =
+  let m = mk () in
+  let a = Memsys.rmw m ~now:0 ~core:0 ~addr:0x1000 in
+  check Alcotest.int "dram + rmw extra" (90 + 6) a.Memsys.latency
+
+let test_extend_pending () =
+  let m = mk () in
+  let w1 = Memsys.write_begin m ~now:0 ~core:0 ~addr:0x1000 in
+  (* stretch the drain (e.g. STLR surcharge): a same-line store by the
+     same core must now coalesce behind the extended horizon *)
+  Memsys.extend_pending m ~core:0 ~addr:0x1000 ~until:(w1.Memsys.latency + 500);
+  let w2 = Memsys.write_begin m ~now:10 ~core:0 ~addr:0x1000 in
+  check Alcotest.bool "coalesced" true w2.Memsys.hit;
+  check Alcotest.int "completes with the extended drain" (w1.Memsys.latency + 500 - 10)
+    w2.Memsys.latency;
+  (* extending someone else's drain is a no-op *)
+  Memsys.extend_pending m ~core:5 ~addr:0x1000 ~until:99999;
+  let w3 = Memsys.write_begin m ~now:20 ~core:0 ~addr:0x1000 in
+  check Alcotest.bool "horizon unchanged by foreign extend" true
+    (w3.Memsys.latency <= w1.Memsys.latency + 500)
+
+(* Property: access latencies are non-negative and bounded by one worst
+   transfer per operation issued so far (competing operations queue on a
+   line, so waiting time accumulates at most one service per rival). *)
+let prop_latency_bounds =
+  QCheck.Test.make ~name:"latencies positive and bounded" ~count:200
+    QCheck.(list (triple (int_range 0 15) (int_range 0 7) bool))
+    (fun ops ->
+      let m = mk () in
+      let worst = lat.dram + lat.rmw_extra + 1 in
+      let now = ref 0 in
+      let issued = ref 0 in
+      List.for_all
+        (fun (core, linei, is_write) ->
+          now := !now + 7;
+          incr issued;
+          let addr = 0x1000 + (linei * 64) in
+          let a =
+            if is_write then begin
+              let a = Memsys.write_begin m ~now:!now ~core ~addr in
+              Memsys.write_finish m ~now:(!now + a.Memsys.latency) ~core ~addr;
+              a
+            end
+            else Memsys.read m ~now:!now ~core ~addr
+          in
+          a.Memsys.latency >= 0 && a.Memsys.latency <= worst * !issued)
+        ops)
+
+(* Property: after any sequence of commits, the last committed value per
+   word is what load_value returns (the value store is a plain map). *)
+let prop_value_store =
+  QCheck.Test.make ~name:"value store returns last commit per word" ~count:200
+    QCheck.(list (pair (int_range 0 31) (int_range (-1000) 1000)))
+    (fun writes ->
+      let m = mk () in
+      let shadow = Hashtbl.create 16 in
+      List.iter
+        (fun (w, v) ->
+          let addr = 0x4000 + (w * 8) in
+          Hashtbl.replace shadow addr (Int64.of_int v);
+          Memsys.commit_store m ~addr (Int64.of_int v))
+        writes;
+      Hashtbl.fold
+        (fun addr v acc -> acc && Int64.equal (Memsys.load_value m ~addr) v)
+        shadow true)
+
+(* ---------- Values and watches ---------- *)
+
+let test_values () =
+  let m = mk () in
+  check Alcotest.int64 "unwritten reads 0" 0L (Memsys.load_value m ~addr:0x1000);
+  Memsys.commit_store m ~addr:0x1000 42L;
+  check Alcotest.int64 "committed value" 42L (Memsys.load_value m ~addr:0x1000);
+  Memsys.commit_store m ~addr:0x1008 7L;
+  check Alcotest.int64 "word granularity" 42L (Memsys.load_value m ~addr:0x1000);
+  check Alcotest.int64 "second word" 7L (Memsys.load_value m ~addr:0x1008)
+
+let test_watch_fires_once () =
+  let m = mk () in
+  let fired = ref 0 in
+  Memsys.watch m ~addr:0x1000 (fun () -> incr fired);
+  Memsys.commit_store m ~addr:0x1000 1L;
+  check Alcotest.int "fired" 1 !fired;
+  Memsys.commit_store m ~addr:0x1000 2L;
+  check Alcotest.int "one-shot" 1 !fired
+
+let test_watch_line_granularity () =
+  let m = mk () in
+  let fired = ref 0 in
+  Memsys.watch m ~addr:0x1000 (fun () -> incr fired);
+  (* a store to another word of the same 64-byte line wakes watchers *)
+  Memsys.commit_store m ~addr:0x1020 1L;
+  check Alcotest.int "same line wakes" 1 !fired;
+  Memsys.watch m ~addr:0x1000 (fun () -> incr fired);
+  Memsys.commit_store m ~addr:0x2000 1L;
+  check Alcotest.int "different line does not" 1 !fired
+
+let test_watch_order () =
+  let m = mk () in
+  let log = ref [] in
+  Memsys.watch m ~addr:0x1000 (fun () -> log := 1 :: !log);
+  Memsys.watch m ~addr:0x1000 (fun () -> log := 2 :: !log);
+  Memsys.commit_store m ~addr:0x1000 1L;
+  check (Alcotest.list Alcotest.int) "registration order" [ 1; 2 ] (List.rev !log)
+
+let test_counters () =
+  let m = mk () in
+  ignore (Memsys.read m ~now:0 ~core:0 ~addr:0x1000);
+  ignore (Memsys.read m ~now:50 ~core:0 ~addr:0x1000);
+  ignore (Memsys.read m ~now:100 ~core:8 ~addr:0x1000);
+  let c = Memsys.counters m in
+  check Alcotest.int "one dram fill" 1 c.Memsys.dram_fills;
+  check Alcotest.int "one hit" 1 c.Memsys.hits;
+  check Alcotest.int "one transfer" 1 c.Memsys.transfers;
+  Memsys.reset_counters m;
+  check Alcotest.int "reset" 0 (Memsys.counters m).Memsys.hits
+
+let test_line_of () =
+  check Alcotest.int "line math" (Memsys.line_of 0x1000) (Memsys.line_of 0x103F);
+  check Alcotest.bool "next line differs" true
+    (Memsys.line_of 0x1000 <> Memsys.line_of 0x1040)
+
+let () =
+  Alcotest.run "armb_mem"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "shape" `Quick test_topo_shape;
+          Alcotest.test_case "distance" `Quick test_topo_distance;
+          Alcotest.test_case "heterogeneous (big.LITTLE)" `Quick test_topo_heterogeneous;
+          Alcotest.test_case "bounds checking" `Quick test_topo_bounds;
+          Alcotest.test_case "node listing" `Quick test_topo_node_listing;
+        ] );
+      ("latency", [ Alcotest.test_case "transfer" `Quick test_latency_transfer ]);
+      ( "coherence",
+        [
+          Alcotest.test_case "read miss then hit" `Quick test_read_miss_then_hit;
+          Alcotest.test_case "transfer distance" `Quick test_read_from_owner_distance;
+          Alcotest.test_case "invalidation at drain finish" `Quick
+            test_write_invalidates_sharers_at_finish;
+          Alcotest.test_case "owned write cheap" `Quick test_write_own_line_cheap;
+          Alcotest.test_case "pending-drain coalescing" `Quick test_write_coalesce_pending;
+          Alcotest.test_case "line serialization" `Quick test_line_serialization;
+          Alcotest.test_case "hit waits for in-flight fill" `Quick test_hit_waits_for_fill;
+          Alcotest.test_case "rmw surcharge" `Quick test_rmw_surcharge;
+          Alcotest.test_case "extend_pending" `Quick test_extend_pending;
+          QCheck_alcotest.to_alcotest prop_latency_bounds;
+          QCheck_alcotest.to_alcotest prop_value_store;
+        ] );
+      ( "values-watches",
+        [
+          Alcotest.test_case "word values" `Quick test_values;
+          Alcotest.test_case "watch fires once" `Quick test_watch_fires_once;
+          Alcotest.test_case "watch line granularity" `Quick test_watch_line_granularity;
+          Alcotest.test_case "watch order" `Quick test_watch_order;
+          Alcotest.test_case "traffic counters" `Quick test_counters;
+          Alcotest.test_case "line_of" `Quick test_line_of;
+        ] );
+    ]

@@ -1,0 +1,115 @@
+(* Tests for the platform registry and the characterization sweep
+   drivers (table shapes and cross-platform invariants). *)
+
+module Ch = Armb_core.Characterize
+module Config = Armb_cpu.Config
+module P = Armb_platform.Platform
+module Series = Armb_sim.Series
+module Topology = Armb_mem.Topology
+
+let check = Alcotest.check
+
+let test_registry () =
+  check Alcotest.int "four platforms" 4 (List.length P.all);
+  check (Alcotest.list Alcotest.string) "names"
+    [ "kunpeng916"; "kirin960"; "kirin970"; "raspberrypi4" ]
+    P.names;
+  (match P.by_name "KUNPENG916" with
+  | Some c -> check Alcotest.string "case-insensitive lookup" "kunpeng916" c.Config.name
+  | None -> Alcotest.fail "lookup failed");
+  check Alcotest.bool "unknown platform" true (P.by_name "cray1" = None)
+
+let test_configs_valid () =
+  List.iter (fun c -> Config.validate c) P.all
+
+let test_topologies () =
+  check Alcotest.int "kunpeng NUMA nodes" 2 (Topology.num_nodes P.kunpeng916.Config.topo);
+  check Alcotest.int "kirin960 single node" 1 (Topology.num_nodes P.kirin960.Config.topo);
+  check Alcotest.int "kirin big cluster size" 4
+    (List.length (P.big_cluster_cores P.kirin960));
+  check Alcotest.int "rpi4 cores" 4 (Topology.num_cores P.raspberrypi4.Config.topo)
+
+let test_comm_pairs_well_formed () =
+  List.iter
+    (fun (p : P.placement) ->
+      match p.cores with
+      | [ a; b ] ->
+        let n = Topology.num_cores p.cfg.Config.topo in
+        if a < 0 || a >= n || b < 0 || b >= n || a = b then
+          Alcotest.failf "%s: bad core pair (%d, %d)" p.label a b
+      | _ -> Alcotest.failf "%s: expected exactly two cores" p.label)
+    P.comm_pairs;
+  (* the cross-node pair must actually cross nodes *)
+  let cross = List.nth P.comm_pairs 1 in
+  match cross.cores with
+  | [ a; b ] ->
+    check Alcotest.bool "crosses nodes" true
+      (Topology.node_of cross.cfg.Config.topo a <> Topology.node_of cross.cfg.Config.topo b)
+  | _ -> assert false
+
+let test_server_deeper_than_mobile () =
+  (* the calibration axis behind Observation 4 *)
+  let k = P.kunpeng916.Config.lat and m = P.kirin960.Config.lat in
+  check Alcotest.bool "deeper domain boundary" true
+    (k.Armb_mem.Latency.domain_rt > (2 * m.Armb_mem.Latency.domain_rt));
+  check Alcotest.bool "more expensive remote transfers" true
+    (k.Armb_mem.Latency.cross_node > m.Armb_mem.Latency.same_cluster)
+
+let test_fig2_table_shape () =
+  let t = Ch.fig2 P.raspberrypi4 ~nop_counts:[ 10; 30 ] ~iters:300 in
+  check Alcotest.int "8 barrier rows" 8 (List.length t.Series.rows);
+  check Alcotest.int "2 columns" 2 (List.length t.Series.col_labels);
+  List.iter
+    (fun (name, cells) ->
+      List.iter
+        (fun v -> if v <= 0.0 then Alcotest.failf "row %s has non-positive cell" name)
+        cells)
+    t.Series.rows
+
+let test_fig3_rows_labelled () =
+  let t =
+    Ch.fig3 P.kirin970 ~cores:(0, 1) ~label:"test" ~nop_counts:[ 10 ] ~iters:300
+  in
+  let names = List.map fst t.Series.rows in
+  List.iter
+    (fun expected ->
+      if not (List.mem expected names) then Alcotest.failf "missing row %s" expected)
+    [ "No Barrier"; "DMB full-1"; "DMB full-2"; "DSB st-2"; "STLR" ]
+
+let test_fig5_dependencies_present () =
+  let t = Ch.fig5 P.kirin960 ~cores:(0, 1) ~nop_counts:[ 30 ] ~iters:300 in
+  let names = List.map fst t.Series.rows in
+  List.iter
+    (fun expected ->
+      if not (List.mem expected names) then Alcotest.failf "missing row %s" expected)
+    [ "DATA DEP"; "ADDR DEP"; "CTRL"; "CTRL+ISB"; "LDAR" ]
+
+let test_tipping_monotone_with_distance () =
+  (* hiding a DMB takes more independent work cross-node than same-node *)
+  let same = Ch.tipping_point P.kunpeng916 ~cores:(0, 4) ~iters:500 () in
+  let cross = Ch.tipping_point P.kunpeng916 ~cores:(0, 28) ~iters:500 () in
+  match (same, cross) with
+  | Some s, Some c -> check Alcotest.bool "cross-node needs more nops" true (c > s)
+  | _ -> Alcotest.fail "tipping points must exist on kunpeng916"
+
+let () =
+  Alcotest.run "armb_platform"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "names and lookup" `Quick test_registry;
+          Alcotest.test_case "configs validate" `Quick test_configs_valid;
+          Alcotest.test_case "topologies" `Quick test_topologies;
+          Alcotest.test_case "comm pairs" `Quick test_comm_pairs_well_formed;
+          Alcotest.test_case "server vs mobile calibration" `Quick
+            test_server_deeper_than_mobile;
+        ] );
+      ( "characterize",
+        [
+          Alcotest.test_case "fig2 table shape" `Quick test_fig2_table_shape;
+          Alcotest.test_case "fig3 rows" `Quick test_fig3_rows_labelled;
+          Alcotest.test_case "fig5 dependency rows" `Quick test_fig5_dependencies_present;
+          Alcotest.test_case "tipping monotone in distance" `Slow
+            test_tipping_monotone_with_distance;
+        ] );
+    ]

@@ -1,0 +1,277 @@
+(* Tests for the simulation kernel: heap, event queue, RNG, statistics,
+   result tables. *)
+
+open Armb_sim
+
+let check = Alcotest.check
+
+(* ---------- Heap ---------- *)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.add h ~key:k k) [ 5; 3; 9; 1; 7; 3; 0; 42 ];
+  let popped = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (k, v) ->
+      check Alcotest.int "key = value" k v;
+      popped := k :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  check (Alcotest.list Alcotest.int) "sorted ascending" [ 0; 1; 3; 3; 5; 7; 9; 42 ]
+    (List.rev !popped)
+
+let test_heap_empty () =
+  let h = Heap.create () in
+  check Alcotest.bool "empty" true (Heap.is_empty h);
+  check (Alcotest.option Alcotest.int) "peek none" None (Heap.peek_key h);
+  check Alcotest.bool "pop none" true (Heap.pop h = None)
+
+let test_heap_clear () =
+  let h = Heap.create () in
+  Heap.add h ~key:1 "a";
+  Heap.add h ~key:2 "b";
+  Heap.clear h;
+  check Alcotest.int "length 0" 0 (Heap.length h);
+  Heap.add h ~key:3 "c";
+  check Alcotest.bool "usable after clear" true (Heap.pop h = Some (3, "c"))
+
+let test_heap_growth () =
+  let h = Heap.create ~capacity:2 () in
+  for i = 1000 downto 1 do
+    Heap.add h ~key:i i
+  done;
+  check Alcotest.int "length" 1000 (Heap.length h);
+  check (Alcotest.option Alcotest.int) "min" (Some 1) (Heap.peek_key h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops any int list in sorted order" ~count:200
+    QCheck.(list small_int)
+    (fun l ->
+      let h = Heap.create () in
+      List.iter (fun k -> Heap.add h ~key:k ()) l;
+      let rec drain acc =
+        match Heap.pop h with Some (k, ()) -> drain (k :: acc) | None -> List.rev acc
+      in
+      drain [] = List.sort compare l)
+
+(* ---------- Event queue ---------- *)
+
+let test_eq_time_order () =
+  let q = Event_queue.create () in
+  let log = ref [] in
+  Event_queue.schedule q ~at:30 (fun () -> log := 30 :: !log);
+  Event_queue.schedule q ~at:10 (fun () -> log := 10 :: !log);
+  Event_queue.schedule q ~at:20 (fun () -> log := 20 :: !log);
+  Event_queue.run q;
+  check (Alcotest.list Alcotest.int) "time order" [ 10; 20; 30 ] (List.rev !log);
+  check Alcotest.int "clock at last event" 30 (Event_queue.now q)
+
+let test_eq_fifo_ties () =
+  let q = Event_queue.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Event_queue.schedule q ~at:5 (fun () -> log := i :: !log)
+  done;
+  Event_queue.run q;
+  check (Alcotest.list Alcotest.int) "insertion order at equal times"
+    (List.init 10 Fun.id) (List.rev !log)
+
+let test_eq_past_clamped () =
+  let q = Event_queue.create () in
+  let fired_at = ref (-1) in
+  Event_queue.schedule q ~at:100 (fun () ->
+      Event_queue.schedule q ~at:5 (fun () -> fired_at := Event_queue.now q));
+  Event_queue.run q;
+  check Alcotest.int "past event clamped to now" 100 !fired_at
+
+let test_eq_cascade () =
+  let q = Event_queue.create () in
+  let count = ref 0 in
+  let rec chain n =
+    if n > 0 then
+      Event_queue.schedule_in q ~delay:2 (fun () ->
+          incr count;
+          chain (n - 1))
+  in
+  chain 50;
+  Event_queue.run q;
+  check Alcotest.int "all chained events fired" 50 !count;
+  check Alcotest.int "clock advanced by 2 each" 100 (Event_queue.now q);
+  check Alcotest.int "processed count" 50 (Event_queue.processed q)
+
+let test_eq_until () =
+  let q = Event_queue.create () in
+  let fired = ref 0 in
+  for i = 1 to 10 do
+    Event_queue.schedule q ~at:(i * 10) (fun () -> incr fired)
+  done;
+  Event_queue.run ~until:50 q;
+  check Alcotest.int "only events <= 50" 5 !fired;
+  check Alcotest.int "rest pending" 5 (Event_queue.pending q)
+
+(* ---------- RNG ---------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  check Alcotest.bool "different seeds differ" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let c = Rng.split a in
+  let x = Rng.bits64 a and y = Rng.bits64 c in
+  check Alcotest.bool "split streams differ" true (x <> y)
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~name:"Rng.int stays in [0, bound)" ~count:500
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let v = Rng.int r bound in
+      v >= 0 && v < bound)
+
+let prop_rng_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int_in stays in [lo, hi]" ~count:500
+    QCheck.(triple small_int (int_range (-1000) 1000) (int_range 0 1000))
+    (fun (seed, lo, span) ->
+      let r = Rng.create seed in
+      let v = Rng.int_in r lo (lo + span) in
+      v >= lo && v <= lo + span)
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 9 in
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "same multiset" (Array.init 100 Fun.id) sorted
+
+let test_rng_float_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let f = Rng.float r 2.5 in
+    if f < 0.0 || f >= 2.5 then Alcotest.fail "float out of range"
+  done
+
+(* ---------- Stats ---------- *)
+
+let test_stats_mean_stddev () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check (Alcotest.float 1e-9) "mean" 5.0 (Stats.mean s);
+  (* sample stddev of that classic set is ~2.138 *)
+  check (Alcotest.float 0.01) "stddev" 2.138 (Stats.stddev s);
+  let sm = Stats.summary s in
+  check (Alcotest.float 1e-9) "min" 2.0 sm.Stats.min;
+  check (Alcotest.float 1e-9) "max" 9.0 sm.Stats.max;
+  check Alcotest.int "n" 8 sm.Stats.n
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  let sm = Stats.summary s in
+  check Alcotest.int "n" 0 sm.Stats.n;
+  check (Alcotest.float 1e-9) "stddev 0" 0.0 sm.Stats.stddev
+
+let test_counter () =
+  let c = Stats.Counter.create () in
+  Stats.Counter.incr c;
+  Stats.Counter.add c 5;
+  check Alcotest.int "value" 6 (Stats.Counter.get c);
+  Stats.Counter.reset c;
+  check Alcotest.int "reset" 0 (Stats.Counter.get c)
+
+let test_histogram () =
+  let h = Stats.Histogram.create ~bucket_width:10 ~buckets:10 in
+  List.iter (Stats.Histogram.add h) [ 1; 5; 15; 25; 95; 1000 ];
+  check Alcotest.int "total" 6 (Stats.Histogram.total h);
+  check Alcotest.int "bucket 0" 2 (Stats.Histogram.bucket_count h 0);
+  check Alcotest.int "overflow" 1 (Stats.Histogram.bucket_count h 10);
+  check Alcotest.bool "p50 <= p99" true
+    (Stats.Histogram.percentile h 0.5 <= Stats.Histogram.percentile h 0.99)
+
+let test_throughput () =
+  check (Alcotest.float 1.0) "1000 ops in 1000 cycles at 1 GHz"
+    1e9
+    (Stats.throughput_per_sec ~ops:1000 ~cycles:1000 ~freq_ghz:1.0);
+  check (Alcotest.float 1e-9) "zero cycles" 0.0
+    (Stats.throughput_per_sec ~ops:10 ~cycles:0 ~freq_ghz:1.0)
+
+(* ---------- Series ---------- *)
+
+let sample_table () =
+  Series.make ~title:"t" ~unit_label:"u" ~cols:[ "a"; "b" ]
+    [ ("r1", [ 1.0; 2.0 ]); ("r2", [ 3.0; 4.0 ]) ]
+
+let test_series_cell () =
+  let t = sample_table () in
+  check (Alcotest.float 1e-9) "cell" 4.0 (Series.cell t ~row:"r2" ~col:"b")
+
+let test_series_normalize () =
+  let t = Series.normalize_to (sample_table ()) ~row:"r1" in
+  check (Alcotest.float 1e-9) "normalized" 3.0 (Series.cell t ~row:"r2" ~col:"a");
+  check (Alcotest.float 1e-9) "base row is ones" 1.0 (Series.cell t ~row:"r1" ~col:"b")
+
+let test_series_mismatched_row () =
+  Alcotest.check_raises "row width validated"
+    (Invalid_argument "Series.make: row \"bad\" has 1 cells, expected 2")
+    (fun () -> ignore (Series.make ~title:"x" ~unit_label:"u" ~cols:[ "a"; "b" ] [ ("bad", [ 1.0 ]) ]))
+
+let test_series_csv () =
+  let csv = Series.csv (sample_table ()) in
+  check Alcotest.bool "header present" true (String.length csv > 0);
+  check Alcotest.bool "has r2 line" true
+    (String.split_on_char '\n' csv |> List.exists (fun l -> l = "r2,3,4"))
+
+let () =
+  Alcotest.run "armb_sim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "pops in key order" `Quick test_heap_order;
+          Alcotest.test_case "empty behaviour" `Quick test_heap_empty;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "growth" `Quick test_heap_growth;
+          QCheck_alcotest.to_alcotest prop_heap_sorts;
+        ] );
+      ( "event-queue",
+        [
+          Alcotest.test_case "time order" `Quick test_eq_time_order;
+          Alcotest.test_case "FIFO tie-break" `Quick test_eq_fifo_ties;
+          Alcotest.test_case "past events clamp to now" `Quick test_eq_past_clamped;
+          Alcotest.test_case "cascading schedules" `Quick test_eq_cascade;
+          Alcotest.test_case "run ~until" `Quick test_eq_until;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          QCheck_alcotest.to_alcotest prop_rng_int_bounds;
+          QCheck_alcotest.to_alcotest prop_rng_int_in_bounds;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/stddev" `Quick test_stats_mean_stddev;
+          Alcotest.test_case "empty summary" `Quick test_stats_empty;
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "throughput" `Quick test_throughput;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "cell lookup" `Quick test_series_cell;
+          Alcotest.test_case "normalize" `Quick test_series_normalize;
+          Alcotest.test_case "row width validation" `Quick test_series_mismatched_row;
+          Alcotest.test_case "csv rendering" `Quick test_series_csv;
+        ] );
+    ]

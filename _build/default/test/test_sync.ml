@@ -1,0 +1,323 @@
+(* Tests for the simulated synchronization layer: rings, Pilot rings,
+   ticket lock, delegation locks and the data-structure harness.
+   Most runs self-verify (payload checks, shadow models, mutual
+   exclusion oracles), so "it completes" is already a strong check;
+   the assertions below add relative-performance and accounting
+   invariants. *)
+
+module P = Armb_platform.Platform
+module S = Armb_sync
+module Barrier = Armb_cpu.Barrier
+module Ordering = Armb_core.Ordering
+
+let check = Alcotest.check
+
+let cross = (0, 28)
+
+let ring_spec () =
+  { (S.Spsc_ring.default_spec P.kunpeng916 ~cores:cross) with messages = 800 }
+
+(* ---------- SPSC ring ---------- *)
+
+let test_ring_all_combos_verified () =
+  List.iter
+    (fun name ->
+      let spec = { (ring_spec ()) with barriers = S.Spsc_ring.combo name } in
+      let r = S.Spsc_ring.verified_run spec in
+      check Alcotest.bool (name ^ " positive throughput") true (r.S.Spsc_ring.throughput > 0.0))
+    S.Spsc_ring.combo_names
+
+let test_ring_unknown_combo () =
+  match S.Spsc_ring.combo "nonsense" with
+  | _ -> Alcotest.fail "unknown combo accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_ring_fatal_barrier_dominates () =
+  let t name = (S.Spsc_ring.run { (ring_spec ()) with barriers = S.Spsc_ring.combo name }).S.Spsc_ring.throughput in
+  let ld_st = t "DMB ld - DMB st" in
+  let ld_none = t "DMB ld - No Barrier" in
+  let full_stlr = t "DMB full - STLR" in
+  check Alcotest.bool "removing the publish barrier is the big win" true
+    (ld_none > 2.0 *. ld_st);
+  check Alcotest.bool "STLR publish is the worst legal choice" true (full_stlr < ld_st)
+
+let test_ring_small_buffers () =
+  let spec = { (ring_spec ()) with slots = 1; messages = 100 } in
+  let r = S.Spsc_ring.verified_run spec in
+  check Alcotest.bool "slot-1 ring still correct" true (r.S.Spsc_ring.throughput > 0.0)
+
+(* ---------- Pilot ring ---------- *)
+
+let pilot_spec () =
+  { (S.Pilot_ring.default_spec P.kunpeng916 ~cores:cross) with messages = 800 }
+
+let test_pilot_ring_verified () =
+  let r = S.Pilot_ring.run (pilot_spec ()) in
+  check Alcotest.bool "throughput" true (r.S.Pilot_ring.throughput > 0.0)
+
+let test_pilot_beats_best_legal () =
+  let best =
+    (S.Spsc_ring.run { (ring_spec ()) with barriers = S.Spsc_ring.combo "DMB ld - DMB st" })
+      .S.Spsc_ring.throughput
+  in
+  let pilot = (S.Pilot_ring.run (pilot_spec ())).S.Pilot_ring.throughput in
+  check Alcotest.bool "pilot wins" true (pilot > 1.2 *. best)
+
+let test_pilot_batched_words () =
+  List.iter
+    (fun words ->
+      let r = S.Pilot_ring.run_batched ~words (pilot_spec ()) in
+      check Alcotest.bool (Printf.sprintf "words=%d verified" words) true
+        (r.S.Pilot_ring.throughput > 0.0))
+    [ 1; 2; 4; 8 ]
+
+let test_pilot_batched_speedup_declines () =
+  let speedup words =
+    let spec = { (pilot_spec ()) with messages = 600 } in
+    let p = (S.Pilot_ring.run_batched ~words spec).S.Pilot_ring.throughput in
+    let b = (S.Pilot_ring.run_batched_baseline ~words spec).S.Pilot_ring.throughput in
+    p /. b
+  in
+  let s1 = speedup 1 and s8 = speedup 8 in
+  check Alcotest.bool "improvement declines with batching" true (s8 < s1)
+
+let test_pilot_bad_words () =
+  match S.Pilot_ring.run_batched ~words:9 (pilot_spec ()) with
+  | _ -> Alcotest.fail "words > 8 accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ---------- ticket lock ---------- *)
+
+let tl_spec () =
+  {
+    (S.Ticket_lock.default_spec P.kunpeng916 ~cores:(List.init 8 (fun i -> i * 7)))
+    with
+    acquisitions = 60;
+  }
+
+let test_ticket_mutual_exclusion () =
+  (* the run itself contains the mutual-exclusion oracle *)
+  let r = S.Ticket_lock.run (tl_spec ()) in
+  check Alcotest.bool "throughput" true (r.S.Ticket_lock.throughput > 0.0)
+
+let test_ticket_counter_exact () =
+  let m = Armb_cpu.Machine.create P.kunpeng916 in
+  let lock = S.Ticket_lock.create m in
+  let shared = Armb_cpu.Machine.alloc_line m in
+  let iters = 40 in
+  for core = 0 to 5 do
+    Armb_cpu.Machine.spawn m ~core (fun c ->
+        for _ = 1 to iters do
+          S.Ticket_lock.acquire lock c;
+          let v = Armb_cpu.Core.await c (Armb_cpu.Core.load c shared) in
+          Armb_cpu.Core.store c shared (Int64.add v 1L);
+          S.Ticket_lock.release lock c
+        done)
+  done;
+  Armb_cpu.Machine.run_exn m;
+  check Alcotest.int64 "lock-protected increments all landed"
+    (Int64.of_int (6 * iters))
+    (Armb_mem.Memsys.load_value (Armb_cpu.Machine.mem m) ~addr:shared)
+
+let test_ticket_removing_barrier_helps () =
+  let t barrier =
+    (S.Ticket_lock.run { (tl_spec ()) with release_barrier = barrier; cs_lines = 2 })
+      .S.Ticket_lock.throughput
+  in
+  let normal = t (Ordering.Bar (Barrier.Dmb Full)) in
+  let removed = t Ordering.No_barrier in
+  check Alcotest.bool "barrier removal helps with RMRs in the CS" true (removed > normal)
+
+let test_ticket_stlr_release () =
+  let r = S.Ticket_lock.run { (tl_spec ()) with release_barrier = Ordering.Stlr_release } in
+  check Alcotest.bool "stlr release works" true (r.S.Ticket_lock.throughput > 0.0)
+
+(* ---------- FFWD ---------- *)
+
+let ffwd_spec ?(pilot = false) () =
+  {
+    (S.Ffwd.default_spec P.kunpeng916 ~server_core:0 ~client_cores:(List.init 8 (fun i -> i + 1)))
+    with
+    rounds = 60;
+    pilot;
+  }
+
+let test_ffwd_serves_all () =
+  let r = S.Ffwd.run (ffwd_spec ()) in
+  check Alcotest.bool "throughput" true (r.S.Ffwd.throughput > 0.0)
+
+let test_ffwd_pilot_serves_all () =
+  let r = S.Ffwd.run (ffwd_spec ~pilot:true ()) in
+  check Alcotest.bool "pilot throughput" true (r.S.Ffwd.throughput > 0.0)
+
+let test_ffwd_pilot_faster_under_contention () =
+  let t pilot =
+    (S.Ffwd.run { (ffwd_spec ~pilot ()) with interval_nops = 100 }).S.Ffwd.throughput
+  in
+  check Alcotest.bool "pilot >= plain at high contention" true (t true > 0.95 *. t false)
+
+let test_ffwd_barrier_combos () =
+  List.iter
+    (fun read_req ->
+      let spec =
+        { (ffwd_spec ()) with barriers = { S.Ffwd.read_req; publish_resp = Ordering.Bar (Barrier.Dmb St) } }
+      in
+      let r = S.Ffwd.run spec in
+      check Alcotest.bool "combo works" true (r.S.Ffwd.throughput > 0.0))
+    [
+      Ordering.Bar (Barrier.Dmb Full);
+      Ordering.Bar (Barrier.Dmb Ld);
+      Ordering.Ldar_acquire;
+      Ordering.Ctrl_isb;
+      Ordering.Addr_dep;
+    ]
+
+let test_ffwd_rejects_server_as_client () =
+  let spec = { (ffwd_spec ()) with server_core = 1 } in
+  match S.Ffwd.run spec with
+  | _ -> Alcotest.fail "server==client accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ---------- DSM-Synch ---------- *)
+
+let ds_spec ?(pilot = false) () =
+  {
+    (S.Dsmsynch.default_spec P.kunpeng916 ~cores:(List.init 9 (fun i -> i)))
+    with
+    rounds = 60;
+    pilot;
+  }
+
+let test_dsmsynch_serves_all () =
+  let r = S.Dsmsynch.run (ds_spec ()) in
+  check Alcotest.bool "throughput" true (r.S.Dsmsynch.throughput > 0.0)
+
+let test_dsmsynch_pilot_serves_all () =
+  let r = S.Dsmsynch.run (ds_spec ~pilot:true ()) in
+  check Alcotest.bool "pilot throughput" true (r.S.Dsmsynch.throughput > 0.0)
+
+let test_dsmsynch_combining_happens () =
+  let r = S.Dsmsynch.run { (ds_spec ()) with interval_nops = 50 } in
+  check Alcotest.bool "some requests combined" true (r.S.Dsmsynch.combines > 0)
+
+let test_dsmsynch_combine_bound_respected () =
+  (* with bound 1 nothing is ever combined for another thread *)
+  let r = S.Dsmsynch.run { (ds_spec ()) with combine_bound = 1 } in
+  check Alcotest.int "no combining at bound 1" 0 r.S.Dsmsynch.combines
+
+let test_dsmsynch_single_thread () =
+  let r =
+    S.Dsmsynch.run { (S.Dsmsynch.default_spec P.kunpeng916 ~cores:[ 0 ]) with rounds = 30 }
+  in
+  check Alcotest.bool "works with one party" true (r.S.Dsmsynch.throughput > 0.0)
+
+(* ---------- data-structure harness ---------- *)
+
+let ds_bench_spec lock =
+  { (S.Ds_bench.default_spec P.kunpeng916 ~lock) with workers = 8; ops_per_worker = 48 }
+
+let test_ds_queue_all_locks () =
+  List.iter
+    (fun lk ->
+      let r = S.Ds_bench.run_queue (ds_bench_spec lk) in
+      check Alcotest.int (S.Ds_bench.lock_name lk ^ " ops") (8 * 48) r.S.Ds_bench.ops)
+    S.Ds_bench.all_locks
+
+let test_ds_stack_all_locks () =
+  List.iter
+    (fun lk ->
+      let r = S.Ds_bench.run_stack (ds_bench_spec lk) in
+      check Alcotest.bool (S.Ds_bench.lock_name lk) true (r.S.Ds_bench.throughput > 0.0))
+    S.Ds_bench.all_locks
+
+let test_ds_sorted_list_all_locks () =
+  List.iter
+    (fun lk ->
+      let r = S.Ds_bench.run_sorted_list ~preload:30 (ds_bench_spec lk) in
+      check Alcotest.bool (S.Ds_bench.lock_name lk) true (r.S.Ds_bench.throughput > 0.0))
+    S.Ds_bench.all_locks
+
+let test_ds_hash_all_locks () =
+  List.iter
+    (fun lk ->
+      let r = S.Ds_bench.run_hash_table ~buckets:8 ~preload:64 (ds_bench_spec lk) in
+      check Alcotest.bool (S.Ds_bench.lock_name lk) true (r.S.Ds_bench.throughput > 0.0))
+    S.Ds_bench.all_locks
+
+let test_ds_delegation_beats_ticket_on_queue () =
+  let t lk = (S.Ds_bench.run_queue (ds_bench_spec lk)).S.Ds_bench.throughput in
+  check Alcotest.bool "delegation wins under contention" true
+    (t S.Ds_bench.Dsynch > t S.Ds_bench.Ticket)
+
+(* ---------- Sim_alloc ---------- *)
+
+let test_sim_alloc_recycles () =
+  let m = Armb_cpu.Machine.create P.kunpeng916 in
+  let a = S.Sim_alloc.create m ~capacity:2 in
+  let x = S.Sim_alloc.alloc a in
+  let y = S.Sim_alloc.alloc a in
+  check Alcotest.bool "distinct" true (x <> y);
+  check Alcotest.int "in use" 2 (S.Sim_alloc.in_use a);
+  (match S.Sim_alloc.alloc a with
+  | _ -> Alcotest.fail "exhaustion not detected"
+  | exception Failure _ -> ());
+  S.Sim_alloc.free a x;
+  check Alcotest.int "freed" 1 (S.Sim_alloc.in_use a);
+  let z = S.Sim_alloc.alloc a in
+  check Alcotest.int "recycled address" x z
+
+let () =
+  Alcotest.run "armb_sync"
+    [
+      ( "spsc-ring",
+        [
+          Alcotest.test_case "all combos verified" `Slow test_ring_all_combos_verified;
+          Alcotest.test_case "unknown combo" `Quick test_ring_unknown_combo;
+          Alcotest.test_case "fatal barrier dominates" `Slow test_ring_fatal_barrier_dominates;
+          Alcotest.test_case "single-slot ring" `Quick test_ring_small_buffers;
+        ] );
+      ( "pilot-ring",
+        [
+          Alcotest.test_case "verified run" `Quick test_pilot_ring_verified;
+          Alcotest.test_case "beats best legal" `Slow test_pilot_beats_best_legal;
+          Alcotest.test_case "batched words" `Slow test_pilot_batched_words;
+          Alcotest.test_case "speedup declines with batching" `Slow
+            test_pilot_batched_speedup_declines;
+          Alcotest.test_case "word bound" `Quick test_pilot_bad_words;
+        ] );
+      ( "ticket-lock",
+        [
+          Alcotest.test_case "mutual exclusion oracle" `Quick test_ticket_mutual_exclusion;
+          Alcotest.test_case "protected counter exact" `Quick test_ticket_counter_exact;
+          Alcotest.test_case "barrier removal helps" `Slow test_ticket_removing_barrier_helps;
+          Alcotest.test_case "stlr release" `Quick test_ticket_stlr_release;
+        ] );
+      ( "ffwd",
+        [
+          Alcotest.test_case "serves all requests" `Quick test_ffwd_serves_all;
+          Alcotest.test_case "pilot serves all" `Quick test_ffwd_pilot_serves_all;
+          Alcotest.test_case "pilot competitive" `Slow test_ffwd_pilot_faster_under_contention;
+          Alcotest.test_case "barrier combos" `Slow test_ffwd_barrier_combos;
+          Alcotest.test_case "server/client overlap rejected" `Quick
+            test_ffwd_rejects_server_as_client;
+        ] );
+      ( "dsmsynch",
+        [
+          Alcotest.test_case "serves all requests" `Quick test_dsmsynch_serves_all;
+          Alcotest.test_case "pilot serves all" `Quick test_dsmsynch_pilot_serves_all;
+          Alcotest.test_case "combining happens" `Quick test_dsmsynch_combining_happens;
+          Alcotest.test_case "combine bound" `Quick test_dsmsynch_combine_bound_respected;
+          Alcotest.test_case "single thread" `Quick test_dsmsynch_single_thread;
+        ] );
+      ( "data-structures",
+        [
+          Alcotest.test_case "queue under every lock" `Slow test_ds_queue_all_locks;
+          Alcotest.test_case "stack under every lock" `Slow test_ds_stack_all_locks;
+          Alcotest.test_case "sorted list under every lock" `Slow
+            test_ds_sorted_list_all_locks;
+          Alcotest.test_case "hash table under every lock" `Slow test_ds_hash_all_locks;
+          Alcotest.test_case "delegation beats ticket" `Slow
+            test_ds_delegation_beats_ticket_on_queue;
+        ] );
+      ("sim-alloc", [ Alcotest.test_case "recycling" `Quick test_sim_alloc_recycles ]);
+    ]
