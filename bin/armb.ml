@@ -1,7 +1,7 @@
 (* armb: command-line front end of the library.
 
    Subcommands: platforms, model, tipping, observations, advise, litmus,
-   ring.  See `armb --help`. *)
+   check, ring, report, fuzz, trace.  See `armb --help`. *)
 
 open Cmdliner
 
@@ -171,6 +171,61 @@ let litmus_cmd =
     (Cmd.info "litmus" ~doc:"Run litmus tests exhaustively and on the timing simulator.")
     Term.(const run $ test_name $ trials)
 
+(* ---------- check ---------- *)
+
+let check_cmd =
+  let test_name =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"NAME"
+             ~doc:"Litmus test to sanitize (default: cross-check the whole catalogue).")
+  in
+  let trials =
+    Arg.(value & opt int 50 & info [ "trials" ] ~docv:"N" ~doc:"Simulator trials.")
+  in
+  let run cfg test_name trials =
+    let module Sim = Armb_litmus.Sim_runner in
+    match test_name with
+    | None ->
+      let rows, ok = Sim.cross_check ~cfg ~trials () in
+      List.iter (fun r -> Format.printf "%a@." Sim.pp_check_row r) rows;
+      Format.printf "cross-check: %s@." (if ok then "ok" else "FAIL");
+      if not ok then exit 1
+    | Some n -> (
+      match
+        List.find_opt
+          (fun (t : Armb_litmus.Lang.test) ->
+            String.lowercase_ascii t.name = String.lowercase_ascii n)
+          Armb_litmus.Catalogue.all
+      with
+      | None ->
+        Printf.eprintf "unknown test %S; available: %s\n" n
+          (String.concat ", "
+             (List.map (fun (t : Armb_litmus.Lang.test) -> t.name) Armb_litmus.Catalogue.all));
+        exit 1
+      | Some t ->
+        let base, stripped = Sim.check_test ~cfg ~trials t in
+        let report tag (r : Sim.result) =
+          match r.findings with
+          | [] -> Format.printf "%s: clean@." tag
+          | fs ->
+            Format.printf "%s: %d racy pair(s)@." tag (List.length fs);
+            List.iter
+              (fun f -> Format.printf "%a@." Armb_check.Sanitizer.pp_finding f)
+              fs
+        in
+        report t.name base;
+        (match stripped with
+        | Some r -> report (t.name ^ " (order stripped)") r
+        | None -> Format.printf "%s has no ordering devices to strip@." t.name);
+        if base.findings <> [] then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Happens-before sanitizer: flag program-order pairs left unordered by \
+             barriers/dependencies that other cores can observe reordered, with a \
+             suggested minimal fix.")
+    Term.(const run $ platform $ test_name $ trials)
+
 (* ---------- ring ---------- *)
 
 let ring_cmd =
@@ -285,6 +340,7 @@ let () =
             observations_cmd;
             advise_cmd;
             litmus_cmd;
+            check_cmd;
             ring_cmd;
             report_cmd;
             fuzz_cmd;

@@ -1,0 +1,34 @@
+(* Fixed-capacity dense bit sets over per-core operation indices.  The
+   sanitizer's ordered-before sets are unions of arbitrary earlier ops
+   (barrier-induced order leaves gaps), so a scalar watermark per core is
+   not enough — each set is a small bitmap instead. *)
+
+type t = Bytes.t
+
+let create ~cap = Bytes.make ((cap + 7) lsr 3) '\000'
+
+let copy = Bytes.copy
+
+let add b i =
+  let byte = i lsr 3 in
+  Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lor (1 lsl (i land 7))))
+
+let mem b i =
+  let byte = i lsr 3 in
+  byte < Bytes.length b && Char.code (Bytes.get b byte) land (1 lsl (i land 7)) <> 0
+
+let union dst src =
+  let n = min (Bytes.length dst) (Bytes.length src) in
+  for i = 0 to n - 1 do
+    let o = Char.code (Bytes.get dst i) lor Char.code (Bytes.get src i) in
+    Bytes.set dst i (Char.chr o)
+  done
+
+(* Set every bit in [0, n): the "everything earlier" prefix used by
+   release stores and full barriers. *)
+let add_below b n =
+  let full = n lsr 3 in
+  Bytes.fill b 0 full '\xff';
+  let rest = n land 7 in
+  if rest > 0 then
+    Bytes.set b full (Char.chr (Char.code (Bytes.get b full) lor ((1 lsl rest) - 1)))

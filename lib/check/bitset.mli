@@ -1,0 +1,17 @@
+(** Fixed-capacity dense bit sets over per-core operation indices. *)
+
+type t
+
+val create : cap:int -> t
+(** All-empty set able to hold indices [0, cap). *)
+
+val copy : t -> t
+val add : t -> int -> unit
+val mem : t -> int -> bool
+(** [mem b i] is [false] for any [i] beyond the capacity. *)
+
+val union : t -> t -> unit
+(** [union dst src] adds every member of [src] to [dst]. *)
+
+val add_below : t -> int -> unit
+(** [add_below b n] adds every index in [0, n). *)

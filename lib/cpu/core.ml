@@ -6,6 +6,7 @@ type token = {
   mutable v : int64;
   mutable complete_at : int;
   mutable waiter : (unit -> unit) option;
+  mutable obs : int; (* observer seq of the producing load/rmw, -1 if untracked *)
 }
 
 type counters = {
@@ -43,6 +44,8 @@ type t = {
   mutable cross_load_until : int; (* a cross-node load outstanding until t *)
   mutable cross_store_until : int;
   tracer : (Trace.span -> unit) option;
+  observer : Observe.t option;
+  mutable op_seq : int; (* next observer event index *)
   (* Counters. *)
   mutable n_loads : int;
   mutable n_stores : int;
@@ -53,10 +56,12 @@ type t = {
 
 type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
 
-let make ?tracer ~id ~cfg ~queue ~mem () =
+let make ?tracer ?observer ~id ~cfg ~queue ~mem () =
   Config.validate cfg;
   {
     tracer;
+    observer;
+    op_seq = 0;
     id;
     cfg;
     q = queue;
@@ -104,6 +109,20 @@ let trace t ~kind ~name ~start_cycle ~duration =
   match t.tracer with
   | Some f -> f { Trace.core = t.id; kind; name; start_cycle; duration }
   | None -> ()
+
+(* ---------- Observation ---------- *)
+
+(* Emit one observer event; returns its per-core seq (-1 when no
+   observer is installed, so tokens of unobserved runs carry no id). *)
+let emit t ~kind ~addr ~deps ~issued ~completes =
+  match t.observer with
+  | None -> -1
+  | Some f ->
+    let seq = t.op_seq in
+    t.op_seq <- seq + 1;
+    let deps = List.filter_map (fun tok -> if tok.obs >= 0 then Some tok.obs else None) deps in
+    f { Observe.core = t.id; seq; kind; addr; deps; issued_at = issued; completes_at = completes };
+    seq
 
 (* ---------- In-flight window ---------- *)
 
@@ -193,7 +212,7 @@ let fwd_lookup t addr =
 
 (* ---------- Loads ---------- *)
 
-let finished_token v at = { completed = true; v; complete_at = at; waiter = None }
+let finished_token v at = { completed = true; v; complete_at = at; waiter = None; obs = -1 }
 
 let note_line_load t addr completion =
   let ln = addr lsr 6 in
@@ -204,10 +223,13 @@ let note_line_load t addr completion =
 let line_load_gate t addr =
   match Hashtbl.find_opt t.line_load_until (addr lsr 6) with Some x -> x | None -> 0
 
-let load t addr =
+let load_aux t ~acquire ~deps addr =
   t.n_loads <- t.n_loads + 1;
   maybe_yield t;
   let t_issue = max t.cursor t.load_gate in
+  let observe completion =
+    emit t ~kind:(Observe.Load { acquire }) ~addr ~deps ~issued:t_issue ~completes:completion
+  in
   match fwd_lookup t addr with
   | Some v ->
     (* Store-to-load forwarding out of the store buffer. *)
@@ -215,7 +237,9 @@ let load t addr =
     push_op t 1 completion;
     t.last_load_complete <- max t.last_load_complete completion;
     note_line_load t addr completion;
-    finished_token v completion
+    let tok = finished_token v completion in
+    tok.obs <- observe completion;
+    tok
   | None ->
     let a = Memsys.read t.memory ~now:t_issue ~core:t.id ~addr in
     let completion = t_issue + a.latency in
@@ -225,17 +249,21 @@ let load t addr =
     push_op t 1 completion;
     trace t ~kind:"load" ~name:(Printf.sprintf "ld 0x%x" addr) ~start_cycle:t_issue
       ~duration:a.latency;
+    let obs = observe completion in
     if a.hit && a.latency <= t.cfg.lat.l1_hit && completion <= Event_queue.now t.q + t.cfg.lat.l1_hit
-    then
+    then begin
       (* L1 hits whose completion is (essentially) now sample
          synchronously — no commit can intervene — which keeps polling
          loops cheap to simulate.  Hits scheduled in this core's future
          (e.g. behind a load gate while the thread runs ahead of global
          time) must go through the event queue so they observe stores
          committed in between. *)
-      finished_token (Memsys.load_value t.memory ~addr) completion
+      let tok = finished_token (Memsys.load_value t.memory ~addr) completion in
+      tok.obs <- obs;
+      tok
+    end
     else begin
-      let tok = { completed = false; v = 0L; complete_at = completion; waiter = None } in
+      let tok = { completed = false; v = 0L; complete_at = completion; waiter = None; obs } in
       Event_queue.schedule t.q ~at:completion (fun () ->
           tok.v <- Memsys.load_value t.memory ~addr;
           tok.completed <- true;
@@ -246,6 +274,8 @@ let load t addr =
           | None -> ());
       tok
     end
+
+let load t ?(deps = []) addr = load_aux t ~acquire:false ~deps addr
 
 let await t tok =
   if not tok.completed then
@@ -259,7 +289,7 @@ let value tok =
 
 (* ---------- Stores ---------- *)
 
-let store_common t addr v ~drain_start ~extra =
+let store_common t addr v ~drain_start ~extra ~release ~deps =
   let a = Memsys.write_begin t.memory ~now:drain_start ~core:t.id ~addr in
   let completion = drain_start + a.latency + extra in
   if extra > 0 then Memsys.extend_pending t.memory ~core:t.id ~addr ~until:completion;
@@ -271,21 +301,24 @@ let store_common t addr v ~drain_start ~extra =
   push_op t 1 (t.cursor + 1);
   trace t ~kind:"store" ~name:(Printf.sprintf "st 0x%x" addr) ~start_cycle:drain_start
     ~duration:(completion - drain_start);
+  ignore
+    (emit t ~kind:(Observe.Store { release }) ~addr ~deps ~issued:drain_start
+       ~completes:completion);
   let core_id = t.id in
   Event_queue.schedule t.q ~at:completion (fun () ->
       fwd_remove t addr;
       Memsys.write_finish t.memory ~now:completion ~core:core_id ~addr;
       Memsys.commit_store t.memory ~addr v)
 
-let store t addr v =
+let store t ?(deps = []) addr v =
   t.n_stores <- t.n_stores + 1;
   maybe_yield t;
   sb_reserve t;
   (* po-loc: may not commit before earlier same-line loads complete *)
   let drain_start = max (max t.cursor t.sb_gate) (line_load_gate t addr) in
-  store_common t addr v ~drain_start ~extra:0
+  store_common t addr v ~drain_start ~extra:0 ~release:false ~deps
 
-let stlr t addr v =
+let stlr t ?(deps = []) addr v =
   t.n_stores <- t.n_stores + 1;
   maybe_yield t;
   sb_reserve t;
@@ -296,12 +329,12 @@ let stlr t addr v =
       (max (max t.cursor t.sb_gate) (line_load_gate t addr))
       (max t.last_load_complete t.last_store_complete)
   in
-  store_common t addr v ~drain_start ~extra:t.cfg.stlr_extra
+  store_common t addr v ~drain_start ~extra:t.cfg.stlr_extra ~release:true ~deps
 
 (* ---------- Load-acquire ---------- *)
 
-let ldar t addr =
-  let tok = load t addr in
+let ldar t ?(deps = []) addr =
+  let tok = load_aux t ~acquire:true ~deps addr in
   (* Subsequent memory accesses held until the acquire completes. *)
   t.load_gate <- max t.load_gate tok.complete_at;
   t.sb_gate <- max t.sb_gate tok.complete_at;
@@ -375,11 +408,14 @@ let barrier t (b : Barrier.t) =
     let resp = max t.cursor t.retire_wm + t.cfg.isb_cost in
     t.cursor <- resp;
     push_op t 1 resp);
+  ignore
+    (emit t ~kind:(Observe.Fence b) ~addr:(-1) ~deps:[] ~issued:trace_start
+       ~completes:(max trace_start (max t.load_gate t.sb_gate)));
   finish ()
 
 (* ---------- Atomics ---------- *)
 
-let rmw t ?(acq = false) ?(rel = false) addr f =
+let rmw t ?(acq = false) ?(rel = false) ?(deps = []) addr f =
   t.n_rmws <- t.n_rmws + 1;
   maybe_yield t;
   let start = max (max t.cursor t.load_gate) (line_load_gate t addr) in
@@ -401,7 +437,10 @@ let rmw t ?(acq = false) ?(rel = false) addr f =
   trace t ~kind:"rmw" ~name:(Printf.sprintf "rmw 0x%x" addr) ~start_cycle:start
     ~duration:a.latency;
   push_op t 1 completion;
-  let tok = { completed = false; v = 0L; complete_at = completion; waiter = None } in
+  let obs =
+    emit t ~kind:(Observe.Rmw { acq; rel }) ~addr ~deps ~issued:start ~completes:completion
+  in
+  let tok = { completed = false; v = 0L; complete_at = completion; waiter = None; obs } in
   Event_queue.schedule t.q ~at:completion (fun () ->
       let old = Memsys.load_value t.memory ~addr in
       Memsys.commit_store t.memory ~addr (f old);
@@ -414,10 +453,11 @@ let rmw t ?(acq = false) ?(rel = false) addr f =
       | None -> ());
   tok
 
-let cas t ?acq ?rel addr ~expected ~desired =
-  rmw t ?acq ?rel addr (fun old -> if Int64.equal old expected then desired else old)
+let cas t ?acq ?rel ?deps addr ~expected ~desired =
+  rmw t ?acq ?rel ?deps addr (fun old -> if Int64.equal old expected then desired else old)
 
-let fetch_add t ?acq ?rel addr delta = rmw t ?acq ?rel addr (fun old -> Int64.add old delta)
+let fetch_add t ?acq ?rel ?deps addr delta =
+  rmw t ?acq ?rel ?deps addr (fun old -> Int64.add old delta)
 
 (* ---------- Spinning ---------- *)
 

@@ -44,9 +44,12 @@ val compute : t -> int -> unit
     the paper's models), issued [alu_ipc] per cycle, bounded by the
     in-flight window. *)
 
-val load : t -> int -> token
+val load : t -> ?deps:token list -> int -> token
 (** Issue a load from a byte address.  Returns immediately; the value is
-    available through [await].  Store-buffer forwarding applies. *)
+    available through [await].  Store-buffer forwarding applies.
+    [deps] declares architectural address dependencies on earlier loads
+    (tokens); they only matter to an installed {!Observe.t} observer —
+    the timing model derives its ordering from [await] placement. *)
 
 val await : t -> token -> int64
 (** Wait for completion and return the loaded value.  Everything the
@@ -57,32 +60,35 @@ val value : token -> int64
 (** Value of an already-completed token.  Raises [Invalid_argument] if
     the token is still in flight (use [await]). *)
 
-val store : t -> int -> int64 -> unit
+val store : t -> ?deps:token list -> int -> int64 -> unit
 (** Put a store into the store buffer.  Issue never blocks on the bus;
-    it only stalls when the store buffer is full. *)
+    it only stalls when the store buffer is full.  [deps] declares
+    address/data dependencies on earlier loads (observer-only, like
+    {!load}). *)
 
 val barrier : t -> Barrier.t -> unit
 (** Execute a barrier instruction (see {!Barrier.t}). *)
 
-val ldar : t -> int -> token
+val ldar : t -> ?deps:token list -> int -> token
 (** Load-acquire: subsequent memory accesses are held until it
     completes.  Resolved core-locally — no bus transaction. *)
 
-val stlr : t -> int -> int64 -> unit
+val stlr : t -> ?deps:token list -> int -> int64 -> unit
 (** Store-release: its commit waits for all prior loads and stores to be
     observable (plus a domain round trip when the platform's
     [stlr_domain] policy is set). *)
 
-val rmw : t -> ?acq:bool -> ?rel:bool -> int -> (int64 -> int64) -> token
+val rmw : t -> ?acq:bool -> ?rel:bool -> ?deps:token list -> int -> (int64 -> int64) -> token
 (** Atomic read-modify-write: atomically replaces the word with
     [f old]; the token yields [old].  [acq]/[rel] attach
     acquire/release ordering. *)
 
-val cas : t -> ?acq:bool -> ?rel:bool -> int -> expected:int64 -> desired:int64 -> token
+val cas :
+  t -> ?acq:bool -> ?rel:bool -> ?deps:token list -> int -> expected:int64 -> desired:int64 -> token
 (** Compare-and-swap; token yields the previous value (success iff it
     equals [expected]). *)
 
-val fetch_add : t -> ?acq:bool -> ?rel:bool -> int -> int64 -> token
+val fetch_add : t -> ?acq:bool -> ?rel:bool -> ?deps:token list -> int -> int64 -> token
 (** Atomic add; token yields the previous value. *)
 
 val spin_until : t -> int -> (int64 -> bool) -> int64
@@ -120,6 +126,7 @@ type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
 
 val make :
   ?tracer:(Trace.span -> unit) ->
+  ?observer:Observe.t ->
   id:int ->
   cfg:Config.t ->
   queue:Armb_sim.Event_queue.t ->

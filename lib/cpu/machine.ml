@@ -14,11 +14,12 @@ type t = {
   memory : Memsys.t;
   threads : (int, thread) Hashtbl.t;
   tracer : (Trace.span -> unit) option;
+  observer : Observe.t option;
   mutable next_line : int;
   mutable unfinished : int;
 }
 
-let create ?tracer cfg =
+let create ?tracer ?observer cfg =
   Config.validate cfg;
   {
     cfg;
@@ -26,6 +27,7 @@ let create ?tracer cfg =
     memory = Memsys.create ~topo:cfg.topo ~lat:cfg.lat;
     threads = Hashtbl.create 16;
     tracer;
+    observer;
     next_line = 0x1000;
     unfinished = 0;
   }
@@ -50,7 +52,10 @@ let spawn t ~core body =
     raise (Simulation_error (Printf.sprintf "spawn: core %d out of range" core));
   if Hashtbl.mem t.threads core then
     raise (Simulation_error (Printf.sprintf "spawn: core %d already has a thread" core));
-  let c = Core.make ?tracer:t.tracer ~id:core ~cfg:t.cfg ~queue:t.q ~mem:t.memory () in
+  let c =
+    Core.make ?tracer:t.tracer ?observer:t.observer ~id:core ~cfg:t.cfg ~queue:t.q
+      ~mem:t.memory ()
+  in
   Hashtbl.add t.threads core { core = c; body; finished = false };
   t.unfinished <- t.unfinished + 1
 

@@ -10,9 +10,12 @@ type status =
 
 exception Simulation_error of string
 
-val create : ?tracer:(Trace.span -> unit) -> Config.t -> t
+val create : ?tracer:(Trace.span -> unit) -> ?observer:Observe.t -> Config.t -> t
 (** [tracer] receives a span per simulated micro-operation — see
-    {!Trace} for collection and Chrome-trace export. *)
+    {!Trace} for collection and Chrome-trace export.  [observer] is the
+    opt-in instrumentation hook fed to every spawned core — the
+    happens-before sanitizer ([Armb_check.Sanitizer.observer]) plugs in
+    here; runs without an observer pay no overhead. *)
 
 val config : t -> Config.t
 val mem : t -> Armb_mem.Memsys.t

@@ -1,0 +1,37 @@
+(** Observation hook for the timing model.
+
+    When a {!Core.t} is created with an observer, it emits one {!event}
+    per executed micro-operation (loads, stores, RMWs and barriers) in
+    program order, carrying the acquire/release/barrier annotations, the
+    explicit address/data dependencies, and the completion timestamps
+    assigned by the timing model.  This is the instrumentation surface
+    the happens-before sanitizer ([armb_check]) is built on; it costs
+    nothing when no observer is installed. *)
+
+type kind =
+  | Load of { acquire : bool }
+  | Store of { release : bool }
+  | Rmw of { acq : bool; rel : bool }
+  | Fence of Barrier.t
+
+type event = {
+  core : int;
+  seq : int;
+      (** per-core program-order index; every observed op (fences
+          included) takes one slot *)
+  kind : kind;
+  addr : int;  (** byte address of the access; meaningless for [Fence] *)
+  deps : int list;
+      (** seqs of same-core loads whose value this op's address or data
+          depends on *)
+  issued_at : int;
+  completes_at : int;
+      (** load: value-sample time; store: commit (drain) time; fence:
+          barrier response time *)
+}
+
+type t = event -> unit
+
+val is_access : kind -> bool
+val kind_to_string : kind -> string
+val pp_event : Format.formatter -> event -> unit

@@ -227,9 +227,27 @@ let iriw_addr =
     expect_wmm = false;
   }
 
+let mp_pilot =
+  {
+    name = "MP+pilot";
+    description =
+      "MP with data and flag packed into one aligned 64-bit word (Pilot, paper §4): \
+       single-copy atomicity publishes both together, so no barrier is needed. Flag \
+       bit set with stale data is forbidden.";
+    init = [ ("word", 0L) ];
+    threads = [ [ st "word" 0x1_0000_0017L ]; [ ld "word" "r1" ] ];
+    interesting =
+      (fun o ->
+        let v = get o "1:r1" in
+        Int64.shift_right_logical v 32 = 1L && Int64.logand v 0xFFFF_FFFFL <> 0x17L);
+    expect_tso = false;
+    expect_wmm = false;
+  }
+
 let all =
   [
     mp;
+    mp_pilot;
     mp_dmb;
     mp_acq_rel;
     mp_addr_dep;

@@ -16,6 +16,11 @@ val mp_addr_dep : Lang.test
 (** MP with an address dependency on the consumer side and [DMB st] in
     the producer. *)
 
+val mp_pilot : Lang.test
+(** MP with data and flag packed into one aligned 64-bit word — the
+    paper's Pilot optimization (§4): single-copy atomicity replaces the
+    barrier, so the stale read is forbidden with no fence at all. *)
+
 val sb : Lang.test
 (** Store buffering: both loads may miss both stores — allowed under
     TSO {e and} WMM. *)

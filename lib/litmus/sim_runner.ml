@@ -2,11 +2,13 @@ module Core = Armb_cpu.Core
 module Machine = Armb_cpu.Machine
 module Memsys = Armb_mem.Memsys
 module Rng = Armb_sim.Rng
+module San = Armb_check.Sanitizer
 
 type result = {
   outcomes : (string * int) list;
   interesting_witnessed : bool;
   trials : int;
+  findings : San.finding list;
 }
 
 (* Compile one litmus thread to a simulator program.  Loads are issued
@@ -20,32 +22,40 @@ let compile_thread (th : Lang.thread) ~addr_of ~start_pause ~padding ~record (c 
     | Some tok -> Core.await c tok
     | None -> 0L
   in
+  (* Syntactic dependencies also flow to the instrumentation hook, so
+     the sanitizer sees the same preserved order the hardware would. *)
+  let dep_tok r = match Hashtbl.find_opt toks r with Some t -> [ t ] | None -> [] in
   List.iteri
     (fun idx instr ->
       if idx > 0 && padding > 0 then Core.compute c padding;
       match instr with
       | Lang.Load { var; reg; acquire; addr_dep } ->
-        let addr =
+        let deps, addr =
           match addr_dep with
           | Some r ->
             let v = reg_value r in
             Core.compute c 1;
-            addr_of var + Int64.to_int (Int64.logxor v v)
-          | None -> addr_of var
+            (dep_tok r, addr_of var + Int64.to_int (Int64.logxor v v))
+          | None -> ([], addr_of var)
         in
-        let tok = if acquire then Core.ldar c addr else Core.load c addr in
+        let tok = if acquire then Core.ldar c ~deps addr else Core.load c ~deps addr in
         Hashtbl.replace toks reg tok
       | Lang.Store { var; v; release; addr_dep } ->
-        let addr =
+        let deps_a, addr =
           match addr_dep with
           | Some r ->
             let dep = reg_value r in
             Core.compute c 1;
-            addr_of var + Int64.to_int (Int64.logxor dep dep)
-          | None -> addr_of var
+            (dep_tok r, addr_of var + Int64.to_int (Int64.logxor dep dep))
+          | None -> ([], addr_of var)
         in
-        let value = match v with Lang.Const k -> k | Lang.Reg r -> reg_value r in
-        if release then Core.stlr c addr value else Core.store c addr value
+        let deps_v, value =
+          match v with
+          | Lang.Const k -> ([], k)
+          | Lang.Reg r -> (dep_tok r, reg_value r)
+        in
+        let deps = deps_a @ deps_v in
+        if release then Core.stlr c ~deps addr value else Core.store c ~deps addr value
       | Lang.Fence f ->
         let b =
           match f with
@@ -60,15 +70,21 @@ let compile_thread (th : Lang.thread) ~addr_of ~start_pause ~padding ~record (c 
   Hashtbl.iter (fun r tok -> record r (Core.await c tok)) toks
 
 let run ?(cfg = Armb_platform.Platform.kunpeng916) ?(trials = 200) ?(seed = 42)
-    (t : Lang.test) =
+    ?(check = false) (t : Lang.test) =
   let rng = Rng.create seed in
   let nthreads = List.length t.threads in
   let ncores = Armb_mem.Topology.num_cores cfg.topo in
   if nthreads > ncores then invalid_arg "Sim_runner.run: more threads than cores";
   let outcomes = Hashtbl.create 16 in
   let witnessed = ref false in
+  (* Sanitizer findings are value-agnostic, so every trial reports the
+     same racy pairs; trials differ only in whether the reordering was
+     witnessed.  Dedup by signature, keeping a witnessed copy if any. *)
+  let merged : (string, San.finding) Hashtbl.t = Hashtbl.create 8 in
   for _trial = 1 to trials do
-    let m = Machine.create cfg in
+    let san = if check then Some (San.create ()) else None in
+    let observer = Option.map San.observer san in
+    let m = Machine.create ?observer cfg in
     let mem = Machine.mem m in
     let vars = Lang.vars t in
     let addrs = List.map (fun v -> (v, Machine.alloc_line m)) vars in
@@ -109,12 +125,30 @@ let run ?(cfg = Armb_platform.Platform.kunpeng916) ?(trials = 200) ?(seed = 42)
     in
     Hashtbl.replace outcomes rendering
       (1 + Option.value ~default:0 (Hashtbl.find_opt outcomes rendering));
-    if t.interesting lookup then witnessed := true
+    if t.interesting lookup then witnessed := true;
+    match san with
+    | None -> ()
+    | Some s ->
+      List.iter
+        (fun (f : San.finding) ->
+          let key = San.signature f in
+          match Hashtbl.find_opt merged key with
+          | Some g when g.witnessed || not f.witnessed -> ()
+          | _ -> Hashtbl.replace merged key f)
+        (San.findings s)
   done;
+  let findings =
+    Hashtbl.fold (fun _ f acc -> f :: acc) merged []
+    |> List.sort (fun (f : San.finding) (g : San.finding) ->
+           compare
+             (f.core, f.first.op_seq, f.second.op_seq)
+             (g.core, g.first.op_seq, g.second.op_seq))
+  in
   {
     outcomes = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) outcomes []);
     interesting_witnessed = !witnessed;
     trials;
+    findings;
   }
 
 let consistent_with_model r (t : Lang.test) = (not r.interesting_witnessed) || t.expect_wmm
@@ -123,4 +157,85 @@ let pp_result ppf r =
   Format.fprintf ppf "@[<v>%d trials, interesting witnessed: %b@," r.trials
     r.interesting_witnessed;
   List.iter (fun (o, n) -> Format.fprintf ppf "  %6d  %s@," n o) r.outcomes;
+  List.iter (fun f -> Format.fprintf ppf "%a@," San.pp_finding f) r.findings;
   Format.fprintf ppf "@]"
+
+(* ---------- Sanitizer cross-check over the catalogue ---------- *)
+
+let has_order_devices (t : Lang.test) =
+  List.exists
+    (List.exists (function
+      | Lang.Fence _ -> true
+      | Lang.Load { acquire; addr_dep; _ } -> acquire || addr_dep <> None
+      | Lang.Store { release; addr_dep; v; _ } -> (
+        release || addr_dep <> None
+        || match v with Lang.Reg _ -> true | Lang.Const _ -> false)))
+    t.threads
+
+let strip_order (t : Lang.test) =
+  let strip_i = function
+    | Lang.Load { var; reg; _ } ->
+      Some (Lang.Load { var; reg; acquire = false; addr_dep = None })
+    | Lang.Store { var; v; _ } ->
+      let v =
+        match v with Lang.Const k -> Lang.Const k | Lang.Reg _ -> Lang.Const 1L
+      in
+      Some (Lang.Store { var; v; release = false; addr_dep = None })
+    | Lang.Fence _ -> None
+  in
+  {
+    t with
+    Lang.name = t.name ^ "-stripped";
+    threads = List.map (List.filter_map strip_i) t.threads;
+  }
+
+type check_row = {
+  test_name : string;
+  forbidden : bool;
+  base_findings : int;
+  stripped_findings : int option;
+  row_ok : bool;
+}
+
+let check_test ?cfg ?(trials = 50) ?seed (t : Lang.test) =
+  let base = run ?cfg ~trials ?seed ~check:true t in
+  let stripped =
+    if has_order_devices t then Some (run ?cfg ~trials ?seed ~check:true (strip_order t))
+    else None
+  in
+  (base, stripped)
+
+let cross_check ?cfg ?(trials = 50) ?seed () =
+  let rows =
+    List.map
+      (fun (t : Lang.test) ->
+        let base, stripped = check_test ?cfg ~trials ?seed t in
+        let base_findings = List.length base.findings in
+        let stripped_findings =
+          Option.map (fun r -> List.length r.findings) stripped
+        in
+        let forbidden = not t.expect_wmm in
+        let row_ok =
+          if forbidden then
+            (* A test whose weak outcome the model forbids must carry
+               enough ordering that the sanitizer finds nothing — and
+               once the ordering devices are stripped, the latent race
+               must surface. *)
+            base_findings = 0
+            && (match stripped_findings with None -> true | Some n -> n > 0)
+          else if has_order_devices t then true (* partially ordered: informational *)
+          else base_findings > 0 (* racy by design: must be flagged *)
+        in
+        { test_name = t.Lang.name; forbidden; base_findings; stripped_findings; row_ok })
+      Catalogue.all
+  in
+  (rows, List.for_all (fun r -> r.row_ok) rows)
+
+let pp_check_row ppf r =
+  Format.fprintf ppf "%-18s %-9s base:%d %s %s" r.test_name
+    (if r.forbidden then "forbidden" else "allowed")
+    r.base_findings
+    (match r.stripped_findings with
+    | Some n -> Printf.sprintf "stripped:%d" n
+    | None -> "stripped:-")
+    (if r.row_ok then "ok" else "FAIL")

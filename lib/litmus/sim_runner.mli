@@ -17,18 +17,65 @@ type result = {
   outcomes : (string * int) list;  (** outcome rendering -> occurrence count *)
   interesting_witnessed : bool;
   trials : int;
+  findings : Armb_check.Sanitizer.finding list;
+      (** sanitizer report, deduplicated across trials; empty unless
+          [run ~check:true] *)
 }
 
 val run :
   ?cfg:Armb_cpu.Config.t ->
   ?trials:int ->
   ?seed:int ->
+  ?check:bool ->
   Lang.test ->
   result
-(** Defaults: kunpeng916, 200 trials, seed 42. *)
+(** Defaults: kunpeng916, 200 trials, seed 42, check off.  With
+    [~check:true] every trial runs under the happens-before sanitizer
+    ({!Armb_check.Sanitizer}) and [findings] carries the racy pairs. *)
 
 val consistent_with_model : result -> Lang.test -> bool
 (** No witnessed interesting outcome unless the weak model allows it —
     the cross-check property between the two backends. *)
 
 val pp_result : Format.formatter -> result -> unit
+
+(** {2 Sanitizer cross-check}
+
+    The sanitizer's own acceptance harness: every catalogue test whose
+    weak outcome is forbidden must come out clean, and must be flagged
+    again once its ordering devices (fences, acquire/release,
+    dependencies) are stripped; racy-by-design tests must be flagged as
+    they stand. *)
+
+val has_order_devices : Lang.test -> bool
+(** Does the test contain any fence, acquire/release or dependency? *)
+
+val strip_order : Lang.test -> Lang.test
+(** Remove every ordering device: fences deleted, acquire/release
+    cleared, address dependencies dropped, register-valued stores made
+    constant (severing data dependencies).  Outcome predicates are kept
+    but only the sanitizer verdict of the stripped test is meaningful. *)
+
+type check_row = {
+  test_name : string;
+  forbidden : bool;  (** weak outcome forbidden ([not expect_wmm]) *)
+  base_findings : int;
+  stripped_findings : int option;  (** [None] when nothing to strip *)
+  row_ok : bool;
+}
+
+val check_test :
+  ?cfg:Armb_cpu.Config.t ->
+  ?trials:int ->
+  ?seed:int ->
+  Lang.test ->
+  result * result option
+(** Run a test under the sanitizer, plus its stripped variant when it
+    has ordering devices.  Default 50 trials. *)
+
+val cross_check :
+  ?cfg:Armb_cpu.Config.t -> ?trials:int -> ?seed:int -> unit -> check_row list * bool
+(** Apply {!check_test} to the whole {!Catalogue} and judge each row;
+    the boolean is the conjunction. *)
+
+val pp_check_row : Format.formatter -> check_row -> unit

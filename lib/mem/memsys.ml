@@ -118,6 +118,9 @@ let read t ~now ~core ~addr =
     l.sharers <- bit l.owner lor bit core;
     l.owner <- -1;
     let latency = serialize l ~now xfer in
+    (* An in-flight fill delays the transfer: the copy can't leave the
+       owner before the line itself has arrived. *)
+    let latency = max latency (l.ready_at - now) in
     l.ready_at <- now + latency;
     { latency; cross_node = cross; hit = false }
   end
@@ -138,14 +141,19 @@ let read t ~now ~core ~addr =
     let cross = !best = Topology.Cross_node in
     if cross then t.c_cross <- t.c_cross + 1;
     l.sharers <- l.sharers lor bit core;
-    l.ready_at <- max l.ready_at (now + xfer);
-    { latency = xfer; cross_node = cross; hit = false }
+    (* If the sharer's own copy is still in flight, this reader waits
+       for that fill too — the returned latency must match ready_at,
+       or a racing read would complete before the line exists. *)
+    let latency = max xfer (l.ready_at - now) in
+    l.ready_at <- now + latency;
+    { latency; cross_node = cross; hit = false }
   end
   else begin
     t.c_dram <- t.c_dram + 1;
     l.sharers <- bit core;
-    l.ready_at <- max l.ready_at (now + t.lat.dram);
-    { latency = t.lat.dram; cross_node = false; hit = false }
+    let latency = max t.lat.dram (l.ready_at - now) in
+    l.ready_at <- now + latency;
+    { latency; cross_node = false; hit = false }
   end
 
 let write_latency t ~core l =

@@ -59,37 +59,55 @@ module Histogram = struct
     width : int;
     counts : int array; (* last slot is overflow *)
     mutable total : int;
+    mutable max_sample : int; (* largest raw value, for the overflow slot *)
   }
 
   let create ~bucket_width ~buckets =
     assert (bucket_width > 0 && buckets > 0);
-    { width = bucket_width; counts = Array.make (buckets + 1) 0; total = 0 }
+    { width = bucket_width; counts = Array.make (buckets + 1) 0; total = 0; max_sample = 0 }
 
   let add t v =
     let b = v / t.width in
     let b = if b < 0 then 0 else if b >= Array.length t.counts - 1 then Array.length t.counts - 1 else b in
     t.counts.(b) <- t.counts.(b) + 1;
-    t.total <- t.total + 1
+    t.total <- t.total + 1;
+    if v > t.max_sample then t.max_sample <- v
 
   let total t = t.total
 
   let bucket_count t i = t.counts.(i)
 
   let percentile t q =
-    let target = int_of_float (ceil (q *. float_of_int t.total)) in
-    let rec scan i acc =
-      if i >= Array.length t.counts then (Array.length t.counts - 1) * t.width
-      else
-        let acc = acc + t.counts.(i) in
-        if acc >= target then (i + 1) * t.width else scan (i + 1) acc
-    in
-    if t.total = 0 then 0 else scan 0 0
+    if t.total = 0 then 0
+    else begin
+      let n = Array.length t.counts in
+      (* clamp to >= 1 so q = 0 skips empty leading buckets instead of
+         stopping on the first bucket unconditionally *)
+      let target = max 1 (int_of_float (ceil (q *. float_of_int t.total))) in
+      let rec scan i acc =
+        if i = n - 1 then
+          (* the overflow slot has no finite upper bound; report the
+             largest sample seen instead of a fictitious edge *)
+          t.max_sample
+        else
+          let acc = acc + t.counts.(i) in
+          if acc >= target then
+            if q <= 0.0 then i * t.width else (i + 1) * t.width
+          else scan (i + 1) acc
+      in
+      scan 0 0
+    end
 
   let pp ppf t =
     Format.fprintf ppf "@[<v>";
+    let n = Array.length t.counts in
     Array.iteri
       (fun i c ->
-        if c > 0 then Format.fprintf ppf "[%6d..%6d): %d@," (i * t.width) ((i + 1) * t.width) c)
+        if c > 0 then
+          if i = n - 1 then
+            Format.fprintf ppf "[%6d..  +inf): %d (max %d)@," (i * t.width) c t.max_sample
+          else
+            Format.fprintf ppf "[%6d..%6d): %d@," (i * t.width) ((i + 1) * t.width) c)
       t.counts;
     Format.fprintf ppf "@]"
 end

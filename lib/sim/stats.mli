@@ -50,7 +50,10 @@ module Histogram : sig
   val bucket_count : t -> int -> int
   val percentile : t -> float -> int
   (** [percentile h 0.99] returns an upper bound of the bucket containing
-      the requested quantile. *)
+      the requested quantile; [percentile h 0.0] returns the lower bound
+      of the first non-empty bucket.  A quantile landing in the overflow
+      slot reports the largest sample recorded rather than a fictitious
+      finite bucket edge. *)
 
   val pp : Format.formatter -> t -> unit
 end

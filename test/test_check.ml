@@ -1,0 +1,190 @@
+(* Tests for the happens-before sanitizer: machine-level harnesses for
+   the flagged / clean verdicts, the order-stripping helper, and the
+   catalogue-wide cross-check that is this layer's acceptance bar. *)
+
+module Core = Armb_cpu.Core
+module Machine = Armb_cpu.Machine
+module Barrier = Armb_cpu.Barrier
+module San = Armb_check.Sanitizer
+module Lang = Armb_litmus.Lang
+module Cat = Armb_litmus.Catalogue
+module Sim = Armb_litmus.Sim_runner
+
+let check = Alcotest.check
+
+(* Message passing at the Core API level, in four flavours. *)
+let mp_findings ~variant =
+  let san = San.create () in
+  let m =
+    Machine.create ~observer:(San.observer san) Armb_platform.Platform.kunpeng916
+  in
+  let data = Machine.alloc_line m in
+  let flag = Machine.alloc_line m in
+  Armb_mem.Memsys.place (Machine.mem m) ~core:28 ~addr:data;
+  Armb_mem.Memsys.place (Machine.mem m) ~core:0 ~addr:flag;
+  (match variant with
+  | `Racy ->
+    Machine.spawn m ~core:0 (fun c ->
+        Core.store c data 23L;
+        Core.store c flag 1L);
+    Machine.spawn m ~core:28 (fun c ->
+        let f = Core.load c flag in
+        let d = Core.load c data in
+        ignore (Core.await c f);
+        ignore (Core.await c d))
+  | `Fenced ->
+    Machine.spawn m ~core:0 (fun c ->
+        Core.store c data 23L;
+        Core.barrier c (Barrier.Dmb St);
+        Core.store c flag 1L);
+    Machine.spawn m ~core:28 (fun c ->
+        ignore (Core.await c (Core.load c flag));
+        Core.barrier c (Barrier.Dmb Ld);
+        ignore (Core.await c (Core.load c data)))
+  | `Acq_rel ->
+    Machine.spawn m ~core:0 (fun c ->
+        Core.store c data 23L;
+        Core.stlr c flag 1L);
+    Machine.spawn m ~core:28 (fun c ->
+        let f = Core.ldar c flag in
+        let d = Core.load c data in
+        ignore (Core.await c f);
+        ignore (Core.await c d))
+  | `Pilot ->
+    Machine.spawn m ~core:0 (fun c -> Core.store c data 0x1_0000_0017L);
+    Machine.spawn m ~core:28 (fun c -> ignore (Core.await c (Core.load c data))));
+  Machine.run_exn m;
+  San.findings san
+
+let test_racy_mp_flagged () =
+  let fs = mp_findings ~variant:`Racy in
+  check Alcotest.int "both cores' unfenced pairs flagged" 2 (List.length fs);
+  let producer =
+    List.find_opt (fun (f : San.finding) -> f.core = 0) fs
+  in
+  match producer with
+  | None -> Alcotest.fail "producer store-store pair not flagged"
+  | Some f ->
+    check Alcotest.bool "store-store fix suggests dmb st" true
+      (let contains hay needle =
+         let nh = String.length hay and nn = String.length needle in
+         let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+         go 0
+       in
+       contains f.fix "dmb st");
+    check Alcotest.bool "chain reaches the consumer" true
+      (List.exists (fun (o : San.op) -> o.op_core = 28) f.chain)
+
+let test_fenced_mp_clean () =
+  check Alcotest.int "dmb st / dmb ld MP clean" 0
+    (List.length (mp_findings ~variant:`Fenced))
+
+let test_acq_rel_mp_clean () =
+  check Alcotest.int "stlr/ldar MP clean" 0
+    (List.length (mp_findings ~variant:`Acq_rel))
+
+let test_pilot_mp_clean () =
+  check Alcotest.int "single-word Pilot MP clean" 0
+    (List.length (mp_findings ~variant:`Pilot))
+
+(* ---------- order stripping ---------- *)
+
+let test_strip_order () =
+  let stripped = Sim.strip_order Cat.mp_dmb in
+  check Alcotest.bool "stripped test has no devices left" false
+    (Sim.has_order_devices stripped);
+  let n_instrs t =
+    List.fold_left (fun acc th -> acc + List.length th) 0 t.Lang.threads
+  in
+  (* mp_dmb is MP plus two fences; stripping deletes exactly those. *)
+  check Alcotest.int "fences removed" (n_instrs Cat.mp) (n_instrs stripped);
+  check Alcotest.bool "acq/rel cleared" false
+    (Sim.has_order_devices (Sim.strip_order Cat.mp_acq_rel));
+  check Alcotest.bool "data deps severed" false
+    (Sim.has_order_devices (Sim.strip_order Cat.lb_data_dep))
+
+let test_has_order_devices () =
+  List.iter
+    (fun (t, expected) ->
+      check Alcotest.bool t.Lang.name expected (Sim.has_order_devices t))
+    [
+      (Cat.mp, false);
+      (Cat.mp_pilot, false);
+      (Cat.coherence, false);
+      (Cat.mp_dmb, true);
+      (Cat.mp_acq_rel, true);
+      (Cat.lb_data_dep, true);
+      (Cat.iriw_addr, true);
+    ]
+
+(* ---------- findings dedup across trials ---------- *)
+
+let test_findings_deduped () =
+  let r = Sim.run ~trials:8 ~check:true Cat.mp in
+  (* MP has exactly two unfenced pairs (producer W->W, consumer R->R);
+     eight trials must not multiply them. *)
+  check Alcotest.int "two deduped findings" 2 (List.length r.Sim.findings)
+
+let test_check_off_is_empty () =
+  let r = Sim.run ~trials:2 Cat.mp in
+  check Alcotest.int "no findings without ~check" 0 (List.length r.Sim.findings)
+
+(* ---------- the acceptance bar: catalogue cross-check ---------- *)
+
+let test_cross_check () =
+  let rows, ok = Sim.cross_check ~trials:10 () in
+  check Alcotest.int "one row per catalogue test" (List.length Cat.all)
+    (List.length rows);
+  if not ok then
+    List.iter
+      (fun (r : Sim.check_row) ->
+        if not r.row_ok then
+          Alcotest.failf "cross-check failed on %s (base:%d stripped:%s)" r.test_name
+            r.base_findings
+            (match r.stripped_findings with
+            | Some n -> string_of_int n
+            | None -> "-"))
+      rows
+
+let test_forbidden_tests_clean_and_stripped_flagged () =
+  List.iter
+    (fun (t : Lang.test) ->
+      if not t.Lang.expect_wmm then begin
+        let base, stripped = Sim.check_test ~trials:10 t in
+        check Alcotest.int (t.Lang.name ^ " base clean") 0
+          (List.length base.Sim.findings);
+        match stripped with
+        | Some r ->
+          check Alcotest.bool (t.Lang.name ^ " stripped flagged") true
+            (List.length r.Sim.findings > 0)
+        | None -> ()
+      end)
+    Cat.all
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "sanitizer",
+        [
+          Alcotest.test_case "racy MP flagged" `Quick test_racy_mp_flagged;
+          Alcotest.test_case "fenced MP clean" `Quick test_fenced_mp_clean;
+          Alcotest.test_case "acq/rel MP clean" `Quick test_acq_rel_mp_clean;
+          Alcotest.test_case "Pilot MP clean" `Quick test_pilot_mp_clean;
+        ] );
+      ( "strip",
+        [
+          Alcotest.test_case "strip_order" `Quick test_strip_order;
+          Alcotest.test_case "has_order_devices" `Quick test_has_order_devices;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "findings deduped" `Quick test_findings_deduped;
+          Alcotest.test_case "check off -> empty" `Quick test_check_off_is_empty;
+        ] );
+      ( "cross-check",
+        [
+          Alcotest.test_case "catalogue" `Slow test_cross_check;
+          Alcotest.test_case "forbidden clean, stripped flagged" `Slow
+            test_forbidden_tests_clean_and_stripped_flagged;
+        ] );
+    ]

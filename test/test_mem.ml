@@ -146,6 +146,29 @@ let test_hit_waits_for_fill () =
   check Alcotest.bool "hit" true hit.Memsys.hit;
   check Alcotest.int "hit completion clamped to fill" 58 hit.Memsys.latency
 
+let test_sharer_fetch_waits_for_fill () =
+  let m = mk () in
+  (* core 0 starts a DRAM fill at t=0: the line exists at t=90 *)
+  let fill = Memsys.read m ~now:0 ~core:0 ~addr:0x1000 in
+  check Alcotest.int "dram fill" 90 fill.Memsys.latency;
+  (* core 1 fetches from that sharer at t=5: the nominal same-cluster
+     transfer is 10 cycles, but the copy cannot leave core 0 before the
+     fill itself lands — completion is clamped to t=90 *)
+  let fetch = Memsys.read m ~now:5 ~core:1 ~addr:0x1000 in
+  check Alcotest.int "sharer fetch clamped to in-flight fill" 85 fetch.Memsys.latency
+
+let test_owner_read_waits_for_late_drain () =
+  let m = mk () in
+  (* core 8 drains a store whose horizon is stretched to t=200 (the
+     shape an STLR surcharge produces) *)
+  ignore (Memsys.write_begin m ~now:0 ~core:8 ~addr:0x1000);
+  Memsys.extend_pending m ~core:8 ~addr:0x1000 ~until:200;
+  Memsys.write_finish m ~now:200 ~core:8 ~addr:0x1000;
+  (* core 0 reads from the owner at t=100: nominal cross-node transfer
+     is 60 cycles, but the line only exists at t=200 *)
+  let r = Memsys.read m ~now:100 ~core:0 ~addr:0x1000 in
+  check Alcotest.int "owner transfer clamped to late drain" 100 r.Memsys.latency
+
 let test_rmw_surcharge () =
   let m = mk () in
   let a = Memsys.rmw m ~now:0 ~core:0 ~addr:0x1000 in
@@ -290,6 +313,10 @@ let () =
           Alcotest.test_case "pending-drain coalescing" `Quick test_write_coalesce_pending;
           Alcotest.test_case "line serialization" `Quick test_line_serialization;
           Alcotest.test_case "hit waits for in-flight fill" `Quick test_hit_waits_for_fill;
+          Alcotest.test_case "sharer fetch waits for in-flight fill" `Quick
+            test_sharer_fetch_waits_for_fill;
+          Alcotest.test_case "owner read waits for late drain" `Quick
+            test_owner_read_waits_for_late_drain;
           Alcotest.test_case "rmw surcharge" `Quick test_rmw_surcharge;
           Alcotest.test_case "extend_pending" `Quick test_extend_pending;
           QCheck_alcotest.to_alcotest prop_latency_bounds;

@@ -197,6 +197,24 @@ let test_histogram () =
   check Alcotest.bool "p50 <= p99" true
     (Stats.Histogram.percentile h 0.5 <= Stats.Histogram.percentile h 0.99)
 
+let test_percentile_edges () =
+  let h = Stats.Histogram.create ~bucket_width:10 ~buckets:10 in
+  check Alcotest.int "empty histogram" 0 (Stats.Histogram.percentile h 0.5);
+  (* all mass in bucket 2: q = 0 must skip the empty leading buckets
+     rather than reporting the edge of bucket 0 *)
+  List.iter (Stats.Histogram.add h) [ 25; 27 ];
+  check Alcotest.int "q=0 is lower bound of first non-empty bucket" 20
+    (Stats.Histogram.percentile h 0.0);
+  check Alcotest.int "q=1 is upper bound of the occupied bucket" 30
+    (Stats.Histogram.percentile h 1.0);
+  (* a quantile landing in the overflow slot reports the recorded
+     maximum, not a fictitious finite bucket edge *)
+  Stats.Histogram.add h 1234;
+  check Alcotest.int "overflow quantile reports max sample" 1234
+    (Stats.Histogram.percentile h 1.0);
+  check Alcotest.int "low quantiles unaffected by overflow" 30
+    (Stats.Histogram.percentile h 0.5)
+
 let test_throughput () =
   check (Alcotest.float 1.0) "1000 ops in 1000 cycles at 1 GHz"
     1e9
@@ -265,6 +283,7 @@ let () =
           Alcotest.test_case "empty summary" `Quick test_stats_empty;
           Alcotest.test_case "counter" `Quick test_counter;
           Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "percentile edge cases" `Quick test_percentile_edges;
           Alcotest.test_case "throughput" `Quick test_throughput;
         ] );
       ( "series",
