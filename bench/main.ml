@@ -8,7 +8,13 @@
      dune exec bench/main.exe fig3 fig6b # a selection
      dune exec bench/main.exe list       # show available ids *)
 
-let registry = Figures.all @ [ ("native", Natives.run) ]
+let perf () =
+  let r = Armb_perf.Perf.run ~progress:(fun n -> Printf.printf "perf: %s...\n%!" n) () in
+  Format.printf "%a@." Armb_perf.Perf.pp r;
+  Armb_perf.Perf.write_json ~path:"BENCH_perf.json" r;
+  print_endline "wrote BENCH_perf.json"
+
+let registry = Figures.all @ [ ("perf", perf); ("native", Natives.run) ]
 
 let list_ids () =
   print_endline "available experiments:";
@@ -22,12 +28,13 @@ let () =
     List.iter (fun (_, f) -> f ()) registry
   | _ :: [ "list" ] -> list_ids ()
   | _ :: ids ->
-    List.iter
-      (fun id ->
-        match List.assoc_opt id registry with
-        | Some f -> f ()
-        | None ->
-          Printf.eprintf "unknown experiment %S\n" id;
-          list_ids ();
-          exit 1)
-      ids
+    (* Validate the whole selection before running anything: a typo at
+       the end of the list must not leave earlier experiments already
+       run with partial output emitted. *)
+    let unknown = List.filter (fun id -> not (List.mem_assoc id registry)) ids in
+    if unknown <> [] then begin
+      List.iter (fun id -> Printf.eprintf "unknown experiment %S\n" id) unknown;
+      list_ids ();
+      exit 1
+    end;
+    List.iter (fun id -> (List.assoc id registry) ()) ids

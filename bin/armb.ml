@@ -1,7 +1,7 @@
 (* armb: command-line front end of the library.
 
    Subcommands: platforms, model, tipping, observations, advise, litmus,
-   check, ring, report, fuzz, trace.  See `armb --help`. *)
+   check, ring, report, fuzz, perf, trace.  See `armb --help`. *)
 
 open Cmdliner
 
@@ -282,6 +282,52 @@ let fuzz_cmd =
        ~doc:"Differential fuzz: random litmus tests, simulator outcomes checked against the operational model.")
     Term.(const run $ tests $ trials $ seed)
 
+(* ---------- perf ---------- *)
+
+let perf_cmd =
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Smaller iteration/trial counts (CI smoke profile).")
+  in
+  let out =
+    Arg.(value & opt string "BENCH_perf.json" & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the results JSON.")
+  in
+  let baseline =
+    Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc:"Committed baseline JSON to compare events/sec against (read before $(b,--out) overwrites it).")
+  in
+  let tolerance =
+    Arg.(value & opt float 0.2 & info [ "tolerance" ] ~docv:"FRAC" ~doc:"Allowed fractional events/sec regression vs the baseline (default 0.2 = 20%).")
+  in
+  let run quick out baseline tolerance =
+    let module Perf = Armb_perf.Perf in
+    let base = Option.map (fun p -> (p, Perf.load_json ~path:p)) baseline in
+    let r = Perf.run ~quick ~progress:(fun n -> Printf.printf "perf: %s...\n%!" n) () in
+    Format.printf "%a@." Perf.pp r;
+    Perf.write_json ~path:out r;
+    Printf.printf "wrote %s\n" out;
+    match base with
+    | None -> ()
+    | Some (p, None) ->
+      Printf.eprintf "perf: baseline %s missing or unparseable; skipping comparison\n" p
+    | Some (p, Some b) -> (
+      match Perf.compare_against ~baseline:b r ~tolerance with
+      | [] ->
+        Printf.printf "perf: no workload regressed more than %.0f%% vs %s\n"
+          (tolerance *. 100.) p
+      | regs ->
+        List.iter
+          (fun (g : Perf.regression) ->
+            Printf.eprintf "perf: REGRESSION %s: %.0f -> %.0f events/s (-%.1f%%)\n"
+              g.workload g.baseline_eps g.current_eps
+              (100. *. (1. -. (g.current_eps /. g.baseline_eps))))
+          regs;
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "perf"
+       ~doc:"Kernel-throughput benchmark: events/sec over representative workloads, \
+             persisted to BENCH_perf.json, optionally gated against a committed baseline.")
+    Term.(const run $ quick $ out $ baseline $ tolerance)
+
 (* ---------- trace ---------- *)
 
 let trace_cmd =
@@ -344,5 +390,6 @@ let () =
             ring_cmd;
             report_cmd;
             fuzz_cmd;
+            perf_cmd;
             trace_cmd;
           ]))

@@ -191,6 +191,10 @@ let run_machine spec =
 
 let run_cycles spec = Machine.elapsed (run_machine spec)
 
+let run_stats spec =
+  let m = run_machine spec in
+  (Machine.elapsed m, Armb_sim.Event_queue.processed (Machine.queue m))
+
 let run spec =
   let m = run_machine spec in
   (* Per-thread loop throughput, as reported in the paper's figures. *)

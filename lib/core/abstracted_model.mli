@@ -50,3 +50,8 @@ val run : spec -> float
 val run_cycles : spec -> int
 (** Same run, returning the makespan in cycles (for tests that assert
     exact deterministic values). *)
+
+val run_stats : spec -> int * int
+(** Same run, returning [(cycles, events)] where [events] is the number
+    of kernel events the run processed — the denominator of the perf
+    harness' events/sec metric. *)

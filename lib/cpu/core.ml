@@ -1,5 +1,6 @@
 module Memsys = Armb_mem.Memsys
 module Event_queue = Armb_sim.Event_queue
+module Int_table = Armb_sim.Int_table
 
 type token = {
   mutable completed : bool;
@@ -17,26 +18,37 @@ type counters = {
   spins : int;
 }
 
+(* Store-buffer forwarding entry for one word address: the youngest
+   buffered value and the number of undrained stores to that word.  The
+   cell stays in the table at [n = 0] (dead) so the hot path never
+   deletes — it just flips counts. *)
+type fwd_cell = { mutable fv : int64; mutable fn : int }
+
 type t = {
   id : int;
   cfg : Config.t;
   q : Event_queue.t;
   memory : Memsys.t;
   mutable cursor : int;
-  (* In-flight window (ROB): (op count, retire-ready time) in program
-     order; retire-ready is the running max of completion times, which
-     encodes in-order retirement. *)
-  inflight : (int * int) Queue.t;
+  (* In-flight window (ROB): (op count, retire-ready time) entries in
+     program order kept in a fixed ring (at most [rob_size] entries,
+     since every entry covers >= 1 op); retire-ready is the running max
+     of completion times, which encodes in-order retirement. *)
+  if_counts : int array;
+  if_retires : int array;
+  mutable if_head : int;
+  mutable if_len : int;
   mutable inflight_count : int;
   mutable retire_wm : int;
-  (* Store buffer: completion times of undrained stores, plus a
-     forwarding map word-address -> (value, pending count). *)
-  mutable sb : int list;
-  fwd : (int, int64 * int) Hashtbl.t;
+  (* Store buffer: completion times of undrained stores (unordered,
+     at most [sb_size] live), plus the forwarding map. *)
+  sb : int array;
+  mutable sb_count : int;
+  fwd : fwd_cell Int_table.t;
   (* Ordering state. *)
   mutable load_gate : int; (* earliest issue of subsequent loads *)
   mutable sb_gate : int; (* earliest drain start of subsequent stores *)
-  line_load_until : (int, int) Hashtbl.t;
+  line_load_until : int Int_table.t;
       (* per line: latest completion among this core's issued loads —
          a later same-line store may not commit before them (po-loc) *)
   mutable last_load_complete : int;
@@ -67,14 +79,18 @@ let make ?tracer ?observer ~id ~cfg ~queue ~mem () =
     q = queue;
     memory = mem;
     cursor = 0;
-    inflight = Queue.create ();
+    if_counts = Array.make (cfg.rob_size + 1) 0;
+    if_retires = Array.make (cfg.rob_size + 1) 0;
+    if_head = 0;
+    if_len = 0;
     inflight_count = 0;
     retire_wm = 0;
-    sb = [];
-    fwd = Hashtbl.create 64;
+    sb = Array.make (max 1 cfg.sb_size) 0;
+    sb_count = 0;
+    fwd = Int_table.create ~capacity:16 { fv = 0L; fn = 0 };
     load_gate = 0;
     sb_gate = 0;
-    line_load_until = Hashtbl.create 64;
+    line_load_until = Int_table.create ~capacity:16 0;
     last_load_complete = 0;
     last_store_complete = 0;
     cross_load_until = 0;
@@ -126,54 +142,81 @@ let emit t ~kind ~addr ~deps ~issued ~completes =
 
 (* ---------- In-flight window ---------- *)
 
+let[@inline] if_wrap t i = if i >= Array.length t.if_counts then i - Array.length t.if_counts else i
+
 let retire_ready t =
   (* Free entries whose retire time has passed. *)
-  let continue = ref true in
-  while !continue do
-    match Queue.peek_opt t.inflight with
-    | Some (c, r) when r <= t.cursor ->
-      ignore (Queue.pop t.inflight);
-      t.inflight_count <- t.inflight_count - c
-    | _ -> continue := false
+  while t.if_len > 0 && t.if_retires.(t.if_head) <= t.cursor do
+    t.inflight_count <- t.inflight_count - t.if_counts.(t.if_head);
+    t.if_head <- if_wrap t (t.if_head + 1);
+    t.if_len <- t.if_len - 1
   done
 
 let retire_oldest t =
-  match Queue.take_opt t.inflight with
-  | Some (c, r) ->
-    t.inflight_count <- t.inflight_count - c;
+  if t.if_len > 0 then begin
+    let r = t.if_retires.(t.if_head) in
+    t.inflight_count <- t.inflight_count - t.if_counts.(t.if_head);
+    t.if_head <- if_wrap t (t.if_head + 1);
+    t.if_len <- t.if_len - 1;
     if r > t.cursor then t.cursor <- r
-  | None -> ()
+  end
+
+let if_push t count retire =
+  let tail = if_wrap t (t.if_head + t.if_len) in
+  t.if_counts.(tail) <- count;
+  t.if_retires.(tail) <- retire;
+  t.if_len <- t.if_len + 1;
+  t.inflight_count <- t.inflight_count + count
 
 let push_op t count completion =
   retire_ready t;
-  while t.inflight_count + count > t.cfg.rob_size && not (Queue.is_empty t.inflight) do
+  while t.inflight_count + count > t.cfg.rob_size && t.if_len > 0 do
     retire_oldest t
   done;
   t.retire_wm <- max t.retire_wm completion;
-  Queue.push (count, t.retire_wm) t.inflight;
-  t.inflight_count <- t.inflight_count + count
+  if_push t count t.retire_wm
 
 (* ---------- ALU work ---------- *)
 
 let compute t n =
   if n < 0 then invalid_arg "Core.compute: negative count";
   let trace_start = t.cursor in
+  let rob = t.cfg.rob_size and ipc = t.cfg.alu_ipc in
   let remaining = ref n in
   while !remaining > 0 do
     retire_ready t;
-    let free = t.cfg.rob_size - t.inflight_count in
-    if free <= 0 then retire_oldest t
-    else begin
-      let k = min free !remaining in
-      let cycles = (k + t.cfg.alu_ipc - 1) / t.cfg.alu_ipc in
+    if t.if_len = 0 && t.retire_wm <= t.cursor then begin
+      (* Steady state: the window is empty and nothing retires in the
+         future, so every further batch is a full-width push that
+         retires by the time the next one issues.  The remaining ops
+         collapse to arithmetic — same cycles, same final window state
+         (one entry: the last batch) as stepping the loop. *)
+      let m = !remaining in
+      let full = m / rob and rem = m mod rob in
+      let per_full = (rob + ipc - 1) / ipc in
+      let last = if rem = 0 then rob else rem in
+      let cycles =
+        ((if rem = 0 then full - 1 else full) * per_full) + ((last + ipc - 1) / ipc)
+      in
       t.cursor <- t.cursor + cycles;
-      t.retire_wm <- max t.retire_wm t.cursor;
-      Queue.push (k, t.retire_wm) t.inflight;
-      t.inflight_count <- t.inflight_count + k;
-      remaining := !remaining - k
+      t.retire_wm <- t.cursor;
+      if_push t last t.cursor;
+      remaining := 0
+    end
+    else begin
+      let free = rob - t.inflight_count in
+      if free <= 0 then retire_oldest t
+      else begin
+        let k = min free !remaining in
+        let cycles = (k + ipc - 1) / ipc in
+        t.cursor <- t.cursor + cycles;
+        t.retire_wm <- max t.retire_wm t.cursor;
+        if_push t k t.retire_wm;
+        remaining := !remaining - k
+      end
     end
   done;
-  if n > 0 then
+  if n > 0 && t.tracer <> None then
     trace t ~kind:"compute" ~name:(string_of_int n ^ " ops") ~start_cycle:trace_start
       ~duration:(t.cursor - trace_start)
 (* Note: compute does not yield — a thread doing pure ALU work cannot
@@ -182,33 +225,48 @@ let compute t n =
 
 (* ---------- Store buffer helpers ---------- *)
 
-let sb_trim t = t.sb <- List.filter (fun c -> c > t.cursor) t.sb
+(* Drop drained entries (completion <= cursor) by in-place compaction;
+   order among live entries is irrelevant. *)
+let sb_trim t =
+  let kept = ref 0 in
+  for i = 0 to t.sb_count - 1 do
+    let c = Array.unsafe_get t.sb i in
+    if c > t.cursor then begin
+      Array.unsafe_set t.sb !kept c;
+      incr kept
+    end
+  done;
+  t.sb_count <- !kept
+
+let sb_add t completion =
+  Array.unsafe_set t.sb t.sb_count completion;
+  t.sb_count <- t.sb_count + 1
 
 let sb_reserve t =
   sb_trim t;
-  if List.length t.sb >= t.cfg.sb_size then begin
-    let earliest = List.fold_left min max_int t.sb in
-    if earliest > t.cursor then t.cursor <- earliest;
+  if t.sb_count >= t.cfg.sb_size then begin
+    let earliest = ref max_int in
+    for i = 0 to t.sb_count - 1 do
+      if t.sb.(i) < !earliest then earliest := t.sb.(i)
+    done;
+    if !earliest > t.cursor then t.cursor <- !earliest;
     sb_trim t
   end
 
 let word addr = addr lsr 3
 
+let new_fwd_cell _w = { fv = 0L; fn = 0 }
+
 let fwd_add t addr v =
-  let w = word addr in
-  match Hashtbl.find_opt t.fwd w with
-  | Some (_, n) -> Hashtbl.replace t.fwd w (v, n + 1)
-  | None -> Hashtbl.replace t.fwd w (v, 1)
+  let cell = Int_table.find_or_add t.fwd (word addr) new_fwd_cell in
+  cell.fv <- v;
+  cell.fn <- cell.fn + 1
 
 let fwd_remove t addr =
-  let w = word addr in
-  match Hashtbl.find_opt t.fwd w with
-  | Some (_, 1) -> Hashtbl.remove t.fwd w
-  | Some (v, n) -> Hashtbl.replace t.fwd w (v, n - 1)
-  | None -> ()
+  let cell = Int_table.find_or_add t.fwd (word addr) new_fwd_cell in
+  if cell.fn > 0 then cell.fn <- cell.fn - 1
 
-let fwd_lookup t addr =
-  match Hashtbl.find_opt t.fwd (word addr) with Some (v, _) -> Some v | None -> None
+let fwd_cell t addr = Int_table.find_or_add t.fwd (word addr) new_fwd_cell
 
 (* ---------- Loads ---------- *)
 
@@ -216,40 +274,51 @@ let finished_token v at = { completed = true; v; complete_at = at; waiter = None
 
 let note_line_load t addr completion =
   let ln = addr lsr 6 in
-  match Hashtbl.find_opt t.line_load_until ln with
-  | Some prev when prev >= completion -> ()
-  | _ -> Hashtbl.replace t.line_load_until ln completion
+  if completion > Int_table.get t.line_load_until ln ~default:0 then
+    Int_table.set t.line_load_until ln completion
 
-let line_load_gate t addr =
-  match Hashtbl.find_opt t.line_load_until (addr lsr 6) with Some x -> x | None -> 0
+let line_load_gate t addr = Int_table.get t.line_load_until (addr lsr 6) ~default:0
 
 let load_aux t ~acquire ~deps addr =
   t.n_loads <- t.n_loads + 1;
   maybe_yield t;
   let t_issue = max t.cursor t.load_gate in
-  let observe completion =
-    emit t ~kind:(Observe.Load { acquire }) ~addr ~deps ~issued:t_issue ~completes:completion
-  in
-  match fwd_lookup t addr with
-  | Some v ->
+  let cell = fwd_cell t addr in
+  if cell.fn > 0 then begin
     (* Store-to-load forwarding out of the store buffer. *)
+    let v = cell.fv in
     let completion = t_issue + t.cfg.lat.l1_hit in
     push_op t 1 completion;
     t.last_load_complete <- max t.last_load_complete completion;
     note_line_load t addr completion;
     let tok = finished_token v completion in
-    tok.obs <- observe completion;
+    (* Only materialize the observer event (and its record/variant) when
+       an observer is actually installed — unobserved runs pay nothing. *)
+    (match t.observer with
+    | None -> ()
+    | Some _ ->
+      tok.obs <-
+        emit t ~kind:(Observe.Load { acquire }) ~addr ~deps ~issued:t_issue
+          ~completes:completion);
     tok
-  | None ->
+  end
+  else begin
     let a = Memsys.read t.memory ~now:t_issue ~core:t.id ~addr in
     let completion = t_issue + a.latency in
     if a.cross_node then t.cross_load_until <- max t.cross_load_until completion;
     t.last_load_complete <- max t.last_load_complete completion;
     note_line_load t addr completion;
     push_op t 1 completion;
-    trace t ~kind:"load" ~name:(Printf.sprintf "ld 0x%x" addr) ~start_cycle:t_issue
-      ~duration:a.latency;
-    let obs = observe completion in
+    if t.tracer <> None then
+      trace t ~kind:"load" ~name:(Printf.sprintf "ld 0x%x" addr) ~start_cycle:t_issue
+        ~duration:a.latency;
+    let obs =
+      match t.observer with
+      | None -> -1
+      | Some _ ->
+        emit t ~kind:(Observe.Load { acquire }) ~addr ~deps ~issued:t_issue
+          ~completes:completion
+    in
     if a.hit && a.latency <= t.cfg.lat.l1_hit && completion <= Event_queue.now t.q + t.cfg.lat.l1_hit
     then begin
       (* L1 hits whose completion is (essentially) now sample
@@ -274,6 +343,7 @@ let load_aux t ~acquire ~deps addr =
           | None -> ());
       tok
     end
+  end
 
 let load t ?(deps = []) addr = load_aux t ~acquire:false ~deps addr
 
@@ -295,15 +365,17 @@ let store_common t addr v ~drain_start ~extra ~release ~deps =
   if extra > 0 then Memsys.extend_pending t.memory ~core:t.id ~addr ~until:completion;
   if a.cross_node then t.cross_store_until <- max t.cross_store_until completion;
   t.last_store_complete <- max t.last_store_complete completion;
-  t.sb <- completion :: t.sb;
+  sb_add t completion;
   fwd_add t addr v;
   (* The store instruction itself retires once buffered. *)
   push_op t 1 (t.cursor + 1);
-  trace t ~kind:"store" ~name:(Printf.sprintf "st 0x%x" addr) ~start_cycle:drain_start
-    ~duration:(completion - drain_start);
-  ignore
-    (emit t ~kind:(Observe.Store { release }) ~addr ~deps ~issued:drain_start
-       ~completes:completion);
+  if t.tracer <> None then
+    trace t ~kind:"store" ~name:(Printf.sprintf "st 0x%x" addr) ~start_cycle:drain_start
+      ~duration:(completion - drain_start);
+  if t.observer <> None then
+    ignore
+      (emit t ~kind:(Observe.Store { release }) ~addr ~deps ~issued:drain_start
+         ~completes:completion);
   let core_id = t.id in
   Event_queue.schedule t.q ~at:completion (fun () ->
       fwd_remove t addr;
@@ -355,10 +427,6 @@ let barrier t (b : Barrier.t) =
   t.n_barriers <- t.n_barriers + 1;
   maybe_yield t;
   let trace_start = t.cursor in
-  let finish () =
-    trace t ~kind:"barrier" ~name:(Barrier.to_string b) ~start_cycle:trace_start
-      ~duration:(max 1 (max t.load_gate t.sb_gate - trace_start))
-  in
   (match b with
   | Dmb opt ->
     let waits_loads = opt <> Barrier.St and waits_stores = opt <> Barrier.Ld in
@@ -408,10 +476,13 @@ let barrier t (b : Barrier.t) =
     let resp = max t.cursor t.retire_wm + t.cfg.isb_cost in
     t.cursor <- resp;
     push_op t 1 resp);
-  ignore
-    (emit t ~kind:(Observe.Fence b) ~addr:(-1) ~deps:[] ~issued:trace_start
-       ~completes:(max trace_start (max t.load_gate t.sb_gate)));
-  finish ()
+  if t.observer <> None then
+    ignore
+      (emit t ~kind:(Observe.Fence b) ~addr:(-1) ~deps:[] ~issued:trace_start
+         ~completes:(max trace_start (max t.load_gate t.sb_gate)));
+  if t.tracer <> None then
+    trace t ~kind:"barrier" ~name:(Barrier.to_string b) ~start_cycle:trace_start
+      ~duration:(max 1 (max t.load_gate t.sb_gate - trace_start))
 
 (* ---------- Atomics ---------- *)
 
@@ -434,11 +505,15 @@ let rmw t ?(acq = false) ?(rel = false) ?(deps = []) addr f =
     t.load_gate <- max t.load_gate completion;
     t.sb_gate <- max t.sb_gate completion
   end;
-  trace t ~kind:"rmw" ~name:(Printf.sprintf "rmw 0x%x" addr) ~start_cycle:start
-    ~duration:a.latency;
+  if t.tracer <> None then
+    trace t ~kind:"rmw" ~name:(Printf.sprintf "rmw 0x%x" addr) ~start_cycle:start
+      ~duration:a.latency;
   push_op t 1 completion;
   let obs =
-    emit t ~kind:(Observe.Rmw { acq; rel }) ~addr ~deps ~issued:start ~completes:completion
+    match t.observer with
+    | None -> -1
+    | Some _ ->
+      emit t ~kind:(Observe.Rmw { acq; rel }) ~addr ~deps ~issued:start ~completes:completion
   in
   let tok = { completed = false; v = 0L; complete_at = completion; waiter = None; obs } in
   Event_queue.schedule t.q ~at:completion (fun () ->

@@ -67,12 +67,14 @@ type report = {
   tests_run : int;
   sim_outcomes_checked : int;
   violations : (Lang.test * string) list;
+  events : int;
 }
 
 let run ?(tests = 50) ?(trials_per_test = 60) ?(seed = 1234) () =
   let rng = Rng.create seed in
   let checked = ref 0 in
   let violations = ref [] in
+  let events = ref 0 in
   for i = 1 to tests do
     let t = generate rng in
     let t = { t with Lang.name = Printf.sprintf "fuzz-%d" i } in
@@ -80,13 +82,19 @@ let run ?(tests = 50) ?(trials_per_test = 60) ?(seed = 1234) () =
       List.map Enumerate.outcome_to_string (Enumerate.enumerate Enumerate.Wmm t)
     in
     let r = Sim_runner.run ~trials:trials_per_test ~seed:(seed + i) t in
+    events := !events + r.Sim_runner.events;
     List.iter
       (fun (o, _) ->
         incr checked;
         if not (List.mem o allowed) then violations := (t, o) :: !violations)
       r.Sim_runner.outcomes
   done;
-  { tests_run = tests; sim_outcomes_checked = !checked; violations = !violations }
+  {
+    tests_run = tests;
+    sim_outcomes_checked = !checked;
+    violations = !violations;
+    events = !events;
+  }
 
 let pp_report ppf r =
   Format.fprintf ppf "fuzz: %d tests, %d distinct simulated outcomes checked, %d violations"

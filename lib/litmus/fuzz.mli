@@ -20,6 +20,7 @@ type report = {
   sim_outcomes_checked : int;
   violations : (Lang.test * string) list;
       (** test and the offending outcome rendering *)
+  events : int;  (** kernel events processed across every simulator trial *)
 }
 
 val run :

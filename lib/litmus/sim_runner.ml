@@ -9,6 +9,7 @@ type result = {
   interesting_witnessed : bool;
   trials : int;
   findings : San.finding list;
+  events : int;
 }
 
 (* Compile one litmus thread to a simulator program.  Loads are issued
@@ -75,8 +76,26 @@ let run ?(cfg = Armb_platform.Platform.kunpeng916) ?(trials = 200) ?(seed = 42)
   let nthreads = List.length t.threads in
   let ncores = Armb_mem.Topology.num_cores cfg.topo in
   if nthreads > ncores then invalid_arg "Sim_runner.run: more threads than cores";
-  let outcomes = Hashtbl.create 16 in
+  (* Per-trial bookkeeping is hot (a short litmus trial simulates only a
+     handful of events): hoist everything that is identical across
+     trials — the variable list, the "<thread>:<reg>" / "mem:<var>" name
+     strings — and defer outcome rendering to the end by keying the
+     outcome histogram on the sorted binding list itself. *)
+  let vars = Lang.vars t in
+  let mem_names = List.map (fun v -> (v, "mem:" ^ v)) vars in
+  let name_memos = Array.init (max 1 nthreads) (fun _ -> Hashtbl.create 8) in
+  let reg_name i r =
+    let memo = name_memos.(i) in
+    match Hashtbl.find_opt memo r with
+    | Some s -> s
+    | None ->
+      let s = Printf.sprintf "%d:%s" i r in
+      Hashtbl.add memo r s;
+      s
+  in
+  let outcomes : ((string * int64) list, int) Hashtbl.t = Hashtbl.create 16 in
   let witnessed = ref false in
+  let events = ref 0 in
   (* Sanitizer findings are value-agnostic, so every trial reports the
      same racy pairs; trials differ only in whether the reordering was
      witnessed.  Dedup by signature, keeping a witnessed copy if any. *)
@@ -86,7 +105,6 @@ let run ?(cfg = Armb_platform.Platform.kunpeng916) ?(trials = 200) ?(seed = 42)
     let observer = Option.map San.observer san in
     let m = Machine.create ?observer cfg in
     let mem = Machine.mem m in
-    let vars = Lang.vars t in
     let addrs = List.map (fun v -> (v, Machine.alloc_line m)) vars in
     let addr_of v = List.assoc v addrs in
     (* Initial values + randomized initial line placement: pre-touch
@@ -109,22 +127,22 @@ let run ?(cfg = Armb_platform.Platform.kunpeng916) ?(trials = 200) ?(seed = 42)
       (fun i th ->
         let start_pause = Rng.int rng 40 in
         let padding = Rng.int rng 4 in
-        let record r v = Hashtbl.replace regs (Printf.sprintf "%d:%s" i r) v in
+        let record r v = Hashtbl.replace regs (reg_name i r) v in
         Machine.spawn m ~core:(core_of i)
           (compile_thread th ~addr_of ~start_pause ~padding ~record))
       t.threads;
     Machine.run_exn m;
+    events := !events + Armb_sim.Event_queue.processed (Machine.queue m);
     (* final memory joins the outcome as "mem:<var>" bindings *)
-    List.iter
-      (fun (v, a) -> Hashtbl.replace regs ("mem:" ^ v) (Memsys.load_value mem ~addr:a))
-      addrs;
+    List.iter2
+      (fun (_, a) (_, mname) -> Hashtbl.replace regs mname (Memsys.load_value mem ~addr:a))
+      addrs mem_names;
     let lookup r = match Hashtbl.find_opt regs r with Some v -> v | None -> 0L in
-    let rendering =
-      let all = Hashtbl.fold (fun k v acc -> (k, v) :: acc) regs [] in
-      Enumerate.outcome_to_string (List.sort compare all)
+    let key =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) regs [])
     in
-    Hashtbl.replace outcomes rendering
-      (1 + Option.value ~default:0 (Hashtbl.find_opt outcomes rendering));
+    Hashtbl.replace outcomes key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt outcomes key));
     if t.interesting lookup then witnessed := true;
     match san with
     | None -> ()
@@ -145,10 +163,15 @@ let run ?(cfg = Armb_platform.Platform.kunpeng916) ?(trials = 200) ?(seed = 42)
              (g.core, g.first.op_seq, g.second.op_seq))
   in
   {
-    outcomes = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) outcomes []);
+    outcomes =
+      List.sort compare
+        (Hashtbl.fold
+           (fun k v acc -> (Enumerate.outcome_to_string k, v) :: acc)
+           outcomes []);
     interesting_witnessed = !witnessed;
     trials;
     findings;
+    events = !events;
   }
 
 let consistent_with_model r (t : Lang.test) = (not r.interesting_witnessed) || t.expect_wmm

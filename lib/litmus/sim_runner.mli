@@ -20,6 +20,7 @@ type result = {
   findings : Armb_check.Sanitizer.finding list;
       (** sanitizer report, deduplicated across trials; empty unless
           [run ~check:true] *)
+  events : int;  (** kernel events processed, summed over all trials *)
 }
 
 val run :

@@ -21,11 +21,13 @@ type counters = {
   invalidations : int;
 }
 
+module Int_table = Armb_sim.Int_table
+
 type t = {
   topo : Topology.t;
   lat : Latency.t;
-  lines : (int, line) Hashtbl.t;
-  values : (int, int64) Hashtbl.t;
+  lines : line Int_table.t;
+  values : int64 Int_table.t;
   mutable c_hits : int;
   mutable c_transfers : int;
   mutable c_cross : int;
@@ -33,12 +35,23 @@ type t = {
   mutable c_inval : int;
 }
 
+let new_line _idx =
+  {
+    owner = -1;
+    sharers = 0;
+    busy_until = 0;
+    ready_at = 0;
+    pending_writer = -1;
+    pending_until = 0;
+    watchers = [];
+  }
+
 let create ~topo ~lat =
   {
     topo;
     lat;
-    lines = Hashtbl.create 4096;
-    values = Hashtbl.create 4096;
+    lines = Int_table.create ~capacity:64 (new_line 0);
+    values = Int_table.create ~capacity:64 0L;
     c_hits = 0;
     c_transfers = 0;
     c_cross = 0;
@@ -51,50 +64,28 @@ let latencies t = t.lat
 
 let line_of addr = addr lsr 6
 
-let line t addr =
-  let idx = line_of addr in
-  match Hashtbl.find_opt t.lines idx with
-  | Some l -> l
-  | None ->
-    let l =
-      {
-        owner = -1;
-        sharers = 0;
-        busy_until = 0;
-        ready_at = 0;
-        pending_writer = -1;
-        pending_until = 0;
-        watchers = [];
-      }
-    in
-    Hashtbl.add t.lines idx l;
-    l
+let line t addr = Int_table.find_or_add t.lines (line_of addr) new_line
 
 let bit c = 1 lsl c
 
-(* Fold over the set bits of a sharer mask. *)
-let iter_mask mask f =
-  let m = ref mask and c = ref 0 in
+let popcount mask =
+  let m = ref mask and n = ref 0 in
   while !m <> 0 do
-    if !m land 1 = 1 then f !c;
-    incr c;
-    m := !m lsr 1
-  done
+    m := !m land (!m - 1);
+    incr n
+  done;
+  !n
 
-let worst_distance t core mask =
-  (* The requester must wait for the farthest snoop response. *)
-  let worst = ref Topology.Same_core in
-  let rank = function
-    | Topology.Same_core -> 0
-    | Topology.Same_cluster -> 1
-    | Topology.Same_node -> 2
-    | Topology.Cross_node -> 3
-  in
-  iter_mask mask (fun c ->
-      if c <> core then
-        let d = Topology.distance t.topo core c in
-        if rank d > rank !worst then worst := d);
-  !worst
+(* The requester must wait for the farthest snoop response.  Sharer
+   masks are classified with the topology's precomputed per-core masks:
+   any bit outside the requester's node is cross-node, any remaining bit
+   outside its cluster is same-node, and so on — no per-sharer loop. *)
+let worst_rank t core mask =
+  let mask = mask land lnot (bit core) in
+  if mask = 0 then 0
+  else if mask land lnot (Topology.node_mask t.topo core) <> 0 then 3
+  else if mask land lnot (Topology.cluster_mask t.topo core) <> 0 then 2
+  else 1
 
 (* Serialize ownership-changing operations on a contended line. *)
 let serialize l ~now lat_cycles =
@@ -109,10 +100,10 @@ let read t ~now ~core ~addr =
     { latency = max t.lat.l1_hit (l.ready_at - now); cross_node = false; hit = true }
   end
   else if l.owner >= 0 && l.owner <> core then begin
-    let d = Topology.distance t.topo core l.owner in
-    let xfer = Latency.transfer t.lat d in
+    let r = Topology.distance_rank t.topo core l.owner in
+    let xfer = Latency.transfer t.lat (Topology.distance_of_rank r) in
     t.c_transfers <- t.c_transfers + 1;
-    let cross = d = Topology.Cross_node in
+    let cross = r = 3 in
     if cross then t.c_cross <- t.c_cross + 1;
     (* Owner downgrades to shared; reader gets a copy. *)
     l.sharers <- bit l.owner lor bit core;
@@ -125,20 +116,18 @@ let read t ~now ~core ~addr =
     { latency; cross_node = cross; hit = false }
   end
   else if l.sharers <> 0 then begin
-    (* Fetch from the nearest sharer. *)
-    let best = ref Topology.Cross_node in
-    let rank = function
-      | Topology.Same_core -> 0
-      | Topology.Same_cluster -> 1
-      | Topology.Same_node -> 2
-      | Topology.Cross_node -> 3
+    (* Fetch from the nearest sharer: membership of the requester's
+       cluster/node masks classifies the best distance directly.  The
+       requester itself is never a sharer here — the hit branch above
+       caught that. *)
+    let best =
+      if l.sharers land Topology.cluster_mask t.topo core <> 0 then 1
+      else if l.sharers land Topology.node_mask t.topo core <> 0 then 2
+      else 3
     in
-    iter_mask l.sharers (fun c ->
-        let d = Topology.distance t.topo core c in
-        if rank d < rank !best then best := d);
-    let xfer = Latency.transfer t.lat !best in
+    let xfer = Latency.transfer t.lat (Topology.distance_of_rank best) in
     t.c_transfers <- t.c_transfers + 1;
-    let cross = !best = Topology.Cross_node in
+    let cross = best = 3 in
     if cross then t.c_cross <- t.c_cross + 1;
     l.sharers <- l.sharers lor bit core;
     (* If the sharer's own copy is still in flight, this reader waits
@@ -171,13 +160,11 @@ let write_latency t ~core l =
         (t.lat.dram, false, false)
       end
     else begin
-      let d = worst_distance t core others in
-      let cycles = Latency.transfer t.lat d in
+      let r = worst_rank t core others in
+      let cycles = Latency.transfer t.lat (Topology.distance_of_rank r) in
       t.c_transfers <- t.c_transfers + 1;
-      let inval_count = ref 0 in
-      iter_mask others (fun _ -> incr inval_count);
-      t.c_inval <- t.c_inval + !inval_count;
-      let cross = d = Topology.Cross_node in
+      t.c_inval <- t.c_inval + popcount others;
+      let cross = r = 3 in
       if cross then t.c_cross <- t.c_cross + 1;
       (cycles, cross, false)
     end
@@ -233,11 +220,10 @@ let rmw t ~now ~core ~addr =
   l.ready_at <- now + latency;
   { latency; cross_node = cross; hit = false }
 
-let load_value t ~addr =
-  match Hashtbl.find_opt t.values (addr lsr 3) with Some v -> v | None -> 0L
+let load_value t ~addr = Int_table.get t.values (addr lsr 3) ~default:0L
 
 let commit_store t ~addr v =
-  Hashtbl.replace t.values (addr lsr 3) v;
+  Int_table.set t.values (addr lsr 3) v;
   let l = line t addr in
   match l.watchers with
   | [] -> ()

@@ -4,6 +4,9 @@ type t = {
   num_nodes : int;
   cluster_of : int array;
   node_of : int array;
+  cluster_mask : int array; (* per core: mask of cores sharing its cluster *)
+  node_mask : int array; (* per core: mask of cores sharing its NUMA node *)
+  rank : Bytes.t; (* num_cores x num_cores distance ranks, row-major *)
 }
 
 type distance = Same_core | Same_cluster | Same_node | Cross_node
@@ -14,12 +17,36 @@ let build node_of cluster_of =
   let num_cores = Array.length node_of in
   if num_cores = 0 then invalid_arg "Topology: no cores";
   if num_cores > max_cores then invalid_arg "Topology: too many cores";
+  (* Precompute what the memory system asks on every access: the
+     distance class of a core pair and, per core, the bitmasks of its
+     cluster and node peers.  Snoop-distance questions over sharer masks
+     then reduce to a few bitwise tests instead of per-sharer loops. *)
+  let cluster_mask = Array.make num_cores 0 in
+  let node_mask = Array.make num_cores 0 in
+  let rank = Bytes.create (num_cores * num_cores) in
+  for a = 0 to num_cores - 1 do
+    for b = 0 to num_cores - 1 do
+      if cluster_of.(a) = cluster_of.(b) then
+        cluster_mask.(a) <- cluster_mask.(a) lor (1 lsl b);
+      if node_of.(a) = node_of.(b) then node_mask.(a) <- node_mask.(a) lor (1 lsl b);
+      let r =
+        if a = b then 0
+        else if cluster_of.(a) = cluster_of.(b) then 1
+        else if node_of.(a) = node_of.(b) then 2
+        else 3
+      in
+      Bytes.unsafe_set rank ((a * num_cores) + b) (Char.unsafe_chr r)
+    done
+  done;
   {
     num_cores;
     num_clusters = 1 + Array.fold_left max 0 cluster_of;
     num_nodes = 1 + Array.fold_left max 0 node_of;
     cluster_of;
     node_of;
+    cluster_mask;
+    node_mask;
+    rank;
   }
 
 let make ~nodes ~clusters_per_node ~cores_per_cluster =
@@ -74,13 +101,26 @@ let cores_of_node t n =
 let cores_of_cluster t cl =
   List.filter (fun c -> t.cluster_of.(c) = cl) (List.init t.num_cores Fun.id)
 
-let distance t a b =
+let cluster_mask t c =
+  check_core t c;
+  t.cluster_mask.(c)
+
+let node_mask t c =
+  check_core t c;
+  t.node_mask.(c)
+
+let distance_rank t a b =
   check_core t a;
   check_core t b;
-  if a = b then Same_core
-  else if t.cluster_of.(a) = t.cluster_of.(b) then Same_cluster
-  else if t.node_of.(a) = t.node_of.(b) then Same_node
-  else Cross_node
+  Char.code (Bytes.unsafe_get t.rank ((a * t.num_cores) + b))
+
+let distance_of_rank = function
+  | 0 -> Same_core
+  | 1 -> Same_cluster
+  | 2 -> Same_node
+  | _ -> Cross_node
+
+let distance t a b = distance_of_rank (distance_rank t a b)
 
 let pp_distance ppf = function
   | Same_core -> Format.pp_print_string ppf "same-core"

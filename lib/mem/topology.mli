@@ -35,5 +35,20 @@ val cores_of_cluster : t -> int -> int list
 
 val distance : t -> int -> int -> distance
 
+val distance_rank : t -> int -> int -> int
+(** Distance as its severity rank (0 = same core, 1 = same cluster,
+    2 = same node, 3 = cross node), read from a precomputed core-pair
+    matrix.  Hot-path variant of {!distance}: no variant allocation, one
+    byte load. *)
+
+val distance_of_rank : int -> distance
+(** Inverse of the rank encoding ([3] and above map to [Cross_node]). *)
+
+val cluster_mask : t -> int -> int
+(** Bitmask of the cores sharing [c]'s cluster (including [c]). *)
+
+val node_mask : t -> int -> int
+(** Bitmask of the cores sharing [c]'s NUMA node (including [c]). *)
+
 val pp : Format.formatter -> t -> unit
 val pp_distance : Format.formatter -> distance -> unit

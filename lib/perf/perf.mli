@@ -1,0 +1,45 @@
+(** Kernel-throughput benchmark harness.
+
+    Runs a fixed set of representative simulator workloads — a slice of
+    the Figure 3 store-store sweep, the full litmus catalogue, the
+    Figure 6(a) SPSC ring and a differential fuzz round — and reports
+    events processed, wall time and events/second for each.  The
+    workloads are deterministic (fixed seeds); only the wall-clock
+    measurements vary between runs.  Results serialize to
+    [BENCH_perf.json] so successive PRs can track the kernel's
+    throughput trajectory, and a committed baseline can gate
+    regressions in CI. *)
+
+type sample = {
+  name : string;
+  events : int;  (** kernel events processed (0 when not measurable) *)
+  wall_s : float;
+  events_per_sec : float;  (** 0 when [events] is 0 *)
+}
+
+type results = {
+  mode : string;  (** "full" or "quick" *)
+  samples : sample list;
+}
+
+val run : ?quick:bool -> ?progress:(string -> unit) -> unit -> results
+(** Execute every workload.  [quick] shrinks iteration/trial counts
+    (~5x) for CI smoke use; [progress] receives one message per
+    workload as it starts. *)
+
+val pp : Format.formatter -> results -> unit
+
+val to_json : results -> string
+
+val write_json : path:string -> results -> unit
+
+val load_json : path:string -> results option
+(** Minimal parser for files produced by {!write_json}; [None] when the
+    file is missing or unparseable. *)
+
+type regression = { workload : string; baseline_eps : float; current_eps : float }
+
+val compare_against : baseline:results -> results -> tolerance:float -> regression list
+(** Workloads whose events/sec dropped more than [tolerance]
+    (fractional, e.g. 0.2 = 20%) below the baseline.  Workloads absent
+    from either side, or without event counts, are skipped. *)

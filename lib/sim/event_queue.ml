@@ -1,16 +1,22 @@
 type time = int
 
-(* Key packing: we order primarily by time, secondarily by sequence
-   number.  Times in this simulator stay well below 2^40 cycles and the
-   heap key is a single int, so we keep (time, seq) unpacked by storing
-   time in the heap key and resolving FIFO order among equal times with
-   a per-event sequence carried in the payload.  The binary heap is not
-   stable, so we sort equal-key pops through a small staging check. *)
+(* Key packing: the heap key is [(time lsl seq_bits) lor seq], so a
+   plain integer comparison orders events by time first and insertion
+   order second.  Pops are therefore stable by construction — no batch
+   staging or equal-time sort — and the payload is the bare closure.
 
-type event = { seq : int; fn : unit -> unit }
+   Budget: OCaml ints give 62 usable bits above the seq field, so with
+   24 seq bits times up to 2^38 cycles pack losslessly, far beyond any
+   simulated run.  When the per-queue sequence counter saturates we
+   renumber the pending events (they keep their relative order and
+   future events still sort after them), so the counter never limits
+   queue lifetime. *)
+
+let seq_bits = 24
+let seq_mask = (1 lsl seq_bits) - 1
 
 type t = {
-  heap : event Heap.t;
+  heap : (unit -> unit) Heap.t;
   mutable clock : time;
   mutable next_seq : int;
   mutable processed : int;
@@ -20,54 +26,71 @@ let create () = { heap = Heap.create (); clock = 0; next_seq = 0; processed = 0 
 
 let now t = t.clock
 
+(* Compact the sequence space: pop every pending event in (time, seq)
+   order and reinsert with seqs 0..n-1.  Relative order is preserved and
+   reinsertion happens in ascending key order, so each add is O(1). *)
+let renumber t =
+  let n = Heap.length t.heap in
+  if n > seq_mask then failwith "Event_queue: too many pending events";
+  let keys = Array.make (max n 1) 0 in
+  let fns = Array.make (max n 1) ignore in
+  for i = 0 to n - 1 do
+    let key = Heap.min_key t.heap in
+    keys.(i) <- (key lsr seq_bits lsl seq_bits) lor i;
+    fns.(i) <- Heap.pop_min_exn t.heap
+  done;
+  for i = 0 to n - 1 do
+    Heap.add t.heap ~key:keys.(i) fns.(i)
+  done;
+  t.next_seq <- n
+
 let schedule t ~at fn =
   let at = if at < t.clock then t.clock else at in
-  let seq = t.next_seq in
-  t.next_seq <- seq + 1;
-  Heap.add t.heap ~key:at { seq; fn }
+  if t.next_seq > seq_mask then renumber t;
+  let key = (at lsl seq_bits) lor t.next_seq in
+  t.next_seq <- t.next_seq + 1;
+  Heap.add t.heap ~key fn
 
 let schedule_in t ~delay fn = schedule t ~at:(t.clock + max 0 delay) fn
 
-(* Pop all events sharing the earliest timestamp, run them in seq order.
-   Running one may schedule more events at the same timestamp; those run
-   in a later batch of the same time, still after their scheduler, which
-   is the FIFO behaviour we document. *)
 let run_next t =
-  match Heap.pop t.heap with
-  | None -> false
-  | Some (time, ev) ->
-    let batch = ref [ ev ] in
-    let rec drain () =
-      match Heap.peek_key t.heap with
-      | Some k when k = time -> (
-        match Heap.pop t.heap with
-        | Some (_, ev') ->
-          batch := ev' :: !batch;
-          drain ()
-        | None -> ())
-      | _ -> ()
-    in
-    drain ();
-    let sorted = List.sort (fun a b -> compare a.seq b.seq) !batch in
-    t.clock <- time;
-    List.iter
-      (fun ev ->
-        t.processed <- t.processed + 1;
-        ev.fn ())
-      sorted;
+  if Heap.is_empty t.heap then false
+  else begin
+    let time = Heap.min_key t.heap lsr seq_bits in
+    let fn = Heap.pop_min_exn t.heap in
+    if time > t.clock then t.clock <- time;
+    t.processed <- t.processed + 1;
+    fn ();
     true
+  end
 
 let run ?until ?max_events t =
-  let continue () =
-    (match max_events with Some m -> t.processed < m | None -> true)
-    &&
-    match until with
-    | Some u -> ( match Heap.peek_key t.heap with Some k -> k <= u | None -> false)
-    | None -> not (Heap.is_empty t.heap)
+  let budget_left () =
+    match max_events with Some m -> t.processed < m | None -> true
   in
-  while continue () do
-    ignore (run_next t)
-  done
+  (* Advance the clock to [until] when the run stops because the queue
+     drained (or only holds later events) — time still passed even if
+     nothing happened in it.  A [max_events] stop leaves the clock at
+     the last processed event. *)
+  let advance_to_until () =
+    match until with Some u when u > t.clock -> t.clock <- u | _ -> ()
+  in
+  let rec loop () =
+    if budget_left () then
+      if Heap.is_empty t.heap then advance_to_until ()
+      else begin
+        let time = Heap.min_key t.heap lsr seq_bits in
+        match until with
+        | Some u when time > u -> advance_to_until ()
+        | _ ->
+          let fn = Heap.pop_min_exn t.heap in
+          if time > t.clock then t.clock <- time;
+          t.processed <- t.processed + 1;
+          fn ();
+          loop ()
+      end
+  in
+  loop ()
 
 let pending t = Heap.length t.heap
 

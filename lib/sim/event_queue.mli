@@ -28,9 +28,12 @@ val run_next : t -> bool
     empty. *)
 
 val run : ?until:time -> ?max_events:int -> t -> unit
-(** Drain the queue.  [until] stops once [now] would exceed it;
-    [max_events] bounds the number of processed events (guard against
-    accidental livelock in tests). *)
+(** Drain the queue.  [until] stops once [now] would exceed it, and the
+    clock advances to [until] when the queue drains early — simulated
+    time passes even when nothing is scheduled in it.  [max_events]
+    bounds the number of processed events (guard against accidental
+    livelock in tests); stopping on that bound leaves the clock at the
+    last processed event. *)
 
 val pending : t -> int
 (** Number of events not yet fired. *)

@@ -71,4 +71,19 @@ let pop h =
 
 let peek_key h = if h.size = 0 then None else Some h.keys.(0)
 
+let min_key h =
+  if h.size = 0 then invalid_arg "Heap.min_key: empty";
+  h.keys.(0)
+
+let pop_min_exn h =
+  if h.size = 0 then invalid_arg "Heap.pop_min_exn: empty";
+  let v = h.vals.(0) in
+  h.size <- h.size - 1;
+  if h.size > 0 then begin
+    h.keys.(0) <- h.keys.(h.size);
+    h.vals.(0) <- h.vals.(h.size);
+    sift_down h 0
+  end;
+  v
+
 let clear h = h.size <- 0

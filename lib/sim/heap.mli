@@ -22,4 +22,14 @@ val pop : 'a t -> (int * 'a) option
 val peek_key : 'a t -> int option
 (** Key of the minimum element without removing it. *)
 
+val min_key : 'a t -> int
+(** Key of the minimum element, without the option box.  Raises
+    [Invalid_argument] when empty — check [is_empty] first.  This is the
+    hot-path variant of [peek_key]. *)
+
+val pop_min_exn : 'a t -> 'a
+(** Remove the minimum element and return its payload, without the
+    tuple/option boxing of [pop].  Use [min_key] first if the key is
+    needed.  Raises [Invalid_argument] when empty. *)
+
 val clear : 'a t -> unit

@@ -1,0 +1,116 @@
+(* Open-addressed hash table specialised to non-negative int keys.
+
+   The simulator's hot tables (address -> value, address -> line state,
+   address -> forward entry) are all int-keyed, never delete, and sit on
+   the per-memory-op path, where Stdlib.Hashtbl's bucket lists and boxed
+   bindings dominate.  This table keeps keys in one flat int array
+   (-1 = empty) with linear probing over a power-of-two capacity, and
+   looks up with zero allocation. *)
+
+type 'a t = {
+  mutable keys : int array; (* -1 marks an empty slot *)
+  mutable vals : 'a array;
+  mutable mask : int; (* capacity - 1; capacity is a power of two *)
+  mutable count : int;
+  dummy : 'a; (* fills unused value slots *)
+}
+
+let create ?(capacity = 16) dummy =
+  let cap = ref 16 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  {
+    keys = Array.make !cap (-1);
+    vals = Array.make !cap dummy;
+    mask = !cap - 1;
+    count = 0;
+    dummy;
+  }
+
+let length t = t.count
+
+(* Fibonacci-style multiplicative hash: cheap and well-spread for the
+   mostly-sequential line addresses the simulator generates. *)
+let[@inline] hash k mask =
+  let h = k * 0x9E3779B9 in
+  (h lxor (h lsr 16)) land mask
+
+let rec probe keys mask k i =
+  let key = Array.unsafe_get keys i in
+  if key = k || key = -1 then i else probe keys mask k ((i + 1) land mask)
+
+let[@inline] slot t k = probe t.keys t.mask k (hash k t.mask)
+
+let grow t =
+  let old_keys = t.keys and old_vals = t.vals in
+  let cap = (t.mask + 1) * 2 in
+  t.keys <- Array.make cap (-1);
+  t.vals <- Array.make cap t.dummy;
+  t.mask <- cap - 1;
+  for i = 0 to Array.length old_keys - 1 do
+    let k = Array.unsafe_get old_keys i in
+    if k >= 0 then begin
+      let j = slot t k in
+      Array.unsafe_set t.keys j k;
+      Array.unsafe_set t.vals j (Array.unsafe_get old_vals i)
+    end
+  done
+
+let set t k v =
+  if k < 0 then invalid_arg "Int_table.set: negative key";
+  let i = slot t k in
+  if Array.unsafe_get t.keys i = -1 then begin
+    Array.unsafe_set t.keys i k;
+    Array.unsafe_set t.vals i v;
+    t.count <- t.count + 1;
+    (* grow at 5/8 load to keep probe chains short *)
+    if t.count * 8 > (t.mask + 1) * 5 then grow t
+  end
+  else Array.unsafe_set t.vals i v
+
+let get t k ~default =
+  if k < 0 then default
+  else
+    let i = slot t k in
+    if Array.unsafe_get t.keys i = -1 then default else Array.unsafe_get t.vals i
+
+let mem t k =
+  k >= 0 && Array.unsafe_get t.keys (slot t k) <> -1
+
+(* Find the value for [k], inserting [make k] first if absent.  The hot
+   path (present) allocates nothing. *)
+let find_or_add t k make =
+  if k < 0 then invalid_arg "Int_table.find_or_add: negative key";
+  let i = slot t k in
+  if Array.unsafe_get t.keys i <> -1 then Array.unsafe_get t.vals i
+  else begin
+    let v = make k in
+    (* [make] must not touch the table, so slot [i] is still free *)
+    Array.unsafe_set t.keys i k;
+    Array.unsafe_set t.vals i v;
+    t.count <- t.count + 1;
+    if t.count * 8 > (t.mask + 1) * 5 then grow t;
+    v
+  end
+
+let iter t f =
+  let keys = t.keys and vals = t.vals in
+  for i = 0 to Array.length keys - 1 do
+    let k = Array.unsafe_get keys i in
+    if k >= 0 then f k (Array.unsafe_get vals i)
+  done
+
+let fold t f acc =
+  let keys = t.keys and vals = t.vals in
+  let acc = ref acc in
+  for i = 0 to Array.length keys - 1 do
+    let k = Array.unsafe_get keys i in
+    if k >= 0 then acc := f k (Array.unsafe_get vals i) !acc
+  done;
+  !acc
+
+let clear t =
+  Array.fill t.keys 0 (Array.length t.keys) (-1);
+  Array.fill t.vals 0 (Array.length t.vals) t.dummy;
+  t.count <- 0

@@ -57,20 +57,40 @@ end
 module Histogram = struct
   type t = {
     width : int;
+    shift : int; (* log2 width when width is a power of two, else -1 *)
+    last : int; (* index of the overflow slot *)
     counts : int array; (* last slot is overflow *)
     mutable total : int;
     mutable max_sample : int; (* largest raw value, for the overflow slot *)
+    mutable min_bucket : int; (* smallest non-empty bucket *)
   }
 
   let create ~bucket_width ~buckets =
     assert (bucket_width > 0 && buckets > 0);
-    { width = bucket_width; counts = Array.make (buckets + 1) 0; total = 0; max_sample = 0 }
+    let shift =
+      if bucket_width land (bucket_width - 1) = 0 then
+        let rec lg i = if 1 lsl i = bucket_width then i else lg (i + 1) in
+        lg 0
+      else -1
+    in
+    {
+      width = bucket_width;
+      shift;
+      last = buckets;
+      counts = Array.make (buckets + 1) 0;
+      total = 0;
+      max_sample = 0;
+      min_bucket = max_int;
+    }
 
   let add t v =
-    let b = v / t.width in
-    let b = if b < 0 then 0 else if b >= Array.length t.counts - 1 then Array.length t.counts - 1 else b in
-    t.counts.(b) <- t.counts.(b) + 1;
+    (* [asr] floors where [/] truncates toward zero, but negative inputs
+       clamp to bucket 0 either way, so the shift path is equivalent *)
+    let b = if t.shift >= 0 then v asr t.shift else v / t.width in
+    let b = if b < 0 then 0 else if b > t.last then t.last else b in
+    Array.unsafe_set t.counts b (Array.unsafe_get t.counts b + 1);
     t.total <- t.total + 1;
+    if b < t.min_bucket then t.min_bucket <- b;
     if v > t.max_sample then t.max_sample <- v
 
   let total t = t.total
@@ -79,10 +99,11 @@ module Histogram = struct
 
   let percentile t q =
     if t.total = 0 then 0
+    else if q <= 0.0 then
+      (* the tracked minimum non-empty bucket answers q = 0 directly *)
+      if t.min_bucket >= t.last then t.max_sample else t.min_bucket * t.width
     else begin
       let n = Array.length t.counts in
-      (* clamp to >= 1 so q = 0 skips empty leading buckets instead of
-         stopping on the first bucket unconditionally *)
       let target = max 1 (int_of_float (ceil (q *. float_of_int t.total))) in
       let rec scan i acc =
         if i = n - 1 then
@@ -91,11 +112,10 @@ module Histogram = struct
           t.max_sample
         else
           let acc = acc + t.counts.(i) in
-          if acc >= target then
-            if q <= 0.0 then i * t.width else (i + 1) * t.width
-          else scan (i + 1) acc
+          if acc >= target then (i + 1) * t.width else scan (i + 1) acc
       in
-      scan 0 0
+      (* buckets below [min_bucket] are empty; skip them *)
+      scan t.min_bucket 0
     end
 
   let pp ppf t =

@@ -1,0 +1,170 @@
+(* Differential determinism gate for the simulation kernel.
+
+   Canonical renderings of representative workloads — figure slices,
+   litmus histograms, sanitizer verdicts, SPSC ring timings and a fuzz
+   round — are digested and compared against goldens captured from the
+   seed kernel.  Any kernel change that alters simulation results,
+   event ordering or RNG consumption trips this gate: performance work
+   on the event queue, memory system or CPU model must be bit-identical.
+
+   To regenerate after an *intentional* semantic change, run the test
+   binary with ARMB_GOLDEN_PRINT=<file>: it appends "name digest" lines
+   there instead of asserting.  Paste the new digests below and explain
+   the semantic change in the commit message. *)
+
+module AM = Armb_core.Abstracted_model
+module Barrier = Armb_cpu.Barrier
+module Catalogue = Armb_litmus.Catalogue
+module Fuzz = Armb_litmus.Fuzz
+module Lang = Armb_litmus.Lang
+module Ordering = Armb_core.Ordering
+module P = Armb_platform.Platform
+module Sim = Armb_litmus.Sim_runner
+module Spsc = Armb_sync.Spsc_ring
+
+let kunpeng = P.kunpeng916
+let cross = Armb_mem.Topology.num_cores kunpeng.Armb_cpu.Config.topo / 2
+
+(* ---------- canonical texts ---------- *)
+
+(* Exact cycle counts of an abstracted-model sweep slice: covers loads,
+   stores, barriers, LDAR/STLR, dependencies and both NUMA placements. *)
+let fig3_text () =
+  let b = Buffer.create 1024 in
+  let emit mem_ops (aname, approach, location) cores nops =
+    let spec =
+      { (AM.default_spec kunpeng) with cores; mem_ops; approach; location; nops; iters = 300 }
+    in
+    if AM.valid spec then
+      Buffer.add_string b
+        (Printf.sprintf "%s %s (%d,%d) nops=%d cycles=%d\n"
+           (match mem_ops with
+           | AM.No_mem -> "no-mem"
+           | AM.Store_store -> "st-st"
+           | AM.Load_store -> "ld-st"
+           | AM.Load_load -> "ld-ld")
+           aname (fst cores) (snd cores) nops (AM.run_cycles spec))
+  in
+  let store_approaches =
+    [
+      ("none", Ordering.No_barrier, AM.Loc1);
+      ("dmb-full-1", Ordering.Bar (Barrier.Dmb Full), AM.Loc1);
+      ("dmb-full-2", Ordering.Bar (Barrier.Dmb Full), AM.Loc2);
+      ("dmb-st-1", Ordering.Bar (Barrier.Dmb St), AM.Loc1);
+      ("dsb-full-1", Ordering.Bar (Barrier.Dsb Full), AM.Loc1);
+      ("stlr", Ordering.Stlr_release, AM.Loc1);
+    ]
+  in
+  let load_approaches =
+    [
+      ("dmb-ld-1", Ordering.Bar (Barrier.Dmb Ld), AM.Loc1);
+      ("ldar", Ordering.Ldar_acquire, AM.Loc1);
+      ("data-dep", Ordering.Data_dep, AM.Loc1);
+      ("addr-dep", Ordering.Addr_dep, AM.Loc1);
+      ("ctrl-isb", Ordering.Ctrl_isb, AM.Loc1);
+    ]
+  in
+  List.iter
+    (fun cores ->
+      List.iter
+        (fun nops ->
+          List.iter (fun a -> emit AM.Store_store a cores nops) store_approaches;
+          List.iter (fun a -> emit AM.Load_store a cores nops) load_approaches;
+          emit AM.No_mem ("dmb-full-1", Ordering.Bar (Barrier.Dmb Full), AM.Loc1) cores nops;
+          emit AM.Load_load ("ldar", Ordering.Ldar_acquire, AM.Loc1) cores nops)
+        [ 100; 500 ])
+    [ (0, 4); (0, cross) ];
+  Buffer.contents b
+
+(* Outcome histograms of the whole litmus catalogue at a fixed seed. *)
+let litmus_text () =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (t : Lang.test) ->
+      let r = Sim.run ~trials:40 ~seed:42 t in
+      Buffer.add_string b
+        (Printf.sprintf "%s witnessed=%b\n" t.name r.Sim.interesting_witnessed);
+      List.iter
+        (fun (o, n) -> Buffer.add_string b (Printf.sprintf "  %d %s\n" n o))
+        r.Sim.outcomes)
+    Catalogue.all;
+  Buffer.contents b
+
+(* Sanitizer verdicts over the catalogue (base + order-stripped). *)
+let sanitizer_text () =
+  let rows, ok = Sim.cross_check ~trials:12 ~seed:5 () in
+  let b = Buffer.create 512 in
+  List.iter
+    (fun r -> Buffer.add_string b (Format.asprintf "%a\n" Sim.pp_check_row r))
+    rows;
+  Buffer.add_string b (Printf.sprintf "ok=%b\n" ok);
+  Buffer.contents b
+
+(* SPSC ring: exact makespans and traffic counters per combination. *)
+let ring_text () =
+  let b = Buffer.create 512 in
+  List.iter
+    (fun combo ->
+      let spec =
+        { (Spsc.default_spec kunpeng ~cores:(0, cross)) with
+          messages = 500;
+          barriers = Spsc.combo combo;
+        }
+      in
+      let r = Spsc.run spec in
+      Buffer.add_string b
+        (Format.asprintf "%s cycles=%d %a\n" combo r.Spsc.cycles
+           Armb_mem.Memsys.pp_counters r.Spsc.lines_touched))
+    [ "DMB full - DMB full"; "DMB ld - DMB st"; "LDAR - DMB st"; "DMB ld - No Barrier" ];
+  Buffer.contents b
+
+(* A differential fuzz round: RNG consumption, generated programs and
+   simulated outcomes all feed the digest. *)
+let fuzz_text () =
+  let r = Fuzz.run ~tests:10 ~trials_per_test:25 ~seed:7 () in
+  Format.asprintf "%a@." Fuzz.pp_report r
+
+(* ---------- goldens (captured from the seed kernel) ---------- *)
+
+let expected =
+  [
+    ("fig3-slice", "f184f26dd571876913e3eb2d736ea7ca");
+    ("litmus-catalogue", "0328c3ae1b1e9ad15ce1cb2da7aab167");
+    ("sanitizer-verdicts", "1dccbc877ec11eea149d36edd7e22189");
+    ("spsc-ring", "98d7af687535a82f397ce19c55218635");
+    ("fuzz-round", "929108fb4b9ca4066ad8de43298a4211");
+  ]
+
+let texts =
+  [
+    ("fig3-slice", fig3_text);
+    ("litmus-catalogue", litmus_text);
+    ("sanitizer-verdicts", sanitizer_text);
+    ("spsc-ring", ring_text);
+    ("fuzz-round", fuzz_text);
+  ]
+
+let golden name () =
+  let text = (List.assoc name texts) () in
+  let digest = Digest.to_hex (Digest.string text) in
+  match Sys.getenv_opt "ARMB_GOLDEN_PRINT" with
+  | Some file ->
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 file in
+    Printf.fprintf oc "%s %s\n" name digest;
+    close_out oc
+  | None ->
+    let want = List.assoc name expected in
+    if digest <> want then begin
+      (* dump the canonical text so the diff is inspectable in the log *)
+      Printf.printf "--- canonical %s ---\n%s--- end %s ---\n" name text name;
+      Alcotest.failf "golden digest mismatch for %s: expected %s, got %s" name want digest
+    end
+
+let () =
+  Alcotest.run "armb_golden"
+    [
+      ( "determinism",
+        List.map
+          (fun (name, _) -> Alcotest.test_case name `Quick (golden name))
+          expected );
+    ]

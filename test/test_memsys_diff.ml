@@ -1,0 +1,337 @@
+(* Differential test for the memory-system rewrite: the open-addressed,
+   mask-classified [Armb_mem.Memsys] must be operation-for-operation
+   identical to the seed implementation.  The seed version (Hashtbl
+   storage, per-sharer distance loops) is embedded below as the
+   executable specification and both are driven with the same random
+   traces. *)
+
+open Alcotest
+module Topology = Armb_mem.Topology
+module Latency = Armb_mem.Latency
+module Memsys = Armb_mem.Memsys
+module Rng = Armb_sim.Rng
+
+(* ---------- Reference: the seed memory system, verbatim ---------- *)
+
+module Ref = struct
+  type access = { latency : int; cross_node : bool; hit : bool }
+
+  type line = {
+    mutable owner : int;
+    mutable sharers : int;
+    mutable busy_until : int;
+    mutable ready_at : int;
+    mutable pending_writer : int;
+    mutable pending_until : int;
+  }
+
+  type t = {
+    topo : Topology.t;
+    lat : Latency.t;
+    lines : (int, line) Hashtbl.t;
+    values : (int, int64) Hashtbl.t;
+    mutable c_hits : int;
+    mutable c_transfers : int;
+    mutable c_cross : int;
+    mutable c_dram : int;
+    mutable c_inval : int;
+  }
+
+  let create ~topo ~lat =
+    {
+      topo;
+      lat;
+      lines = Hashtbl.create 4096;
+      values = Hashtbl.create 4096;
+      c_hits = 0;
+      c_transfers = 0;
+      c_cross = 0;
+      c_dram = 0;
+      c_inval = 0;
+    }
+
+  let line_of addr = addr lsr 6
+
+  let line t addr =
+    let idx = line_of addr in
+    match Hashtbl.find_opt t.lines idx with
+    | Some l -> l
+    | None ->
+      let l =
+        {
+          owner = -1;
+          sharers = 0;
+          busy_until = 0;
+          ready_at = 0;
+          pending_writer = -1;
+          pending_until = 0;
+        }
+      in
+      Hashtbl.add t.lines idx l;
+      l
+
+  let bit c = 1 lsl c
+
+  let iter_mask mask f =
+    let m = ref mask and c = ref 0 in
+    while !m <> 0 do
+      if !m land 1 = 1 then f !c;
+      incr c;
+      m := !m lsr 1
+    done
+
+  let worst_distance t core mask =
+    let worst = ref Topology.Same_core in
+    let rank = function
+      | Topology.Same_core -> 0
+      | Topology.Same_cluster -> 1
+      | Topology.Same_node -> 2
+      | Topology.Cross_node -> 3
+    in
+    iter_mask mask (fun c ->
+        if c <> core then
+          let d = Topology.distance t.topo core c in
+          if rank d > rank !worst then worst := d);
+    !worst
+
+  let serialize l ~now lat_cycles =
+    let start = max now l.busy_until in
+    l.busy_until <- start + lat_cycles;
+    start - now + lat_cycles
+
+  let read t ~now ~core ~addr =
+    let l = line t addr in
+    if l.sharers land bit core <> 0 then begin
+      t.c_hits <- t.c_hits + 1;
+      { latency = max t.lat.l1_hit (l.ready_at - now); cross_node = false; hit = true }
+    end
+    else if l.owner >= 0 && l.owner <> core then begin
+      let d = Topology.distance t.topo core l.owner in
+      let xfer = Latency.transfer t.lat d in
+      t.c_transfers <- t.c_transfers + 1;
+      let cross = d = Topology.Cross_node in
+      if cross then t.c_cross <- t.c_cross + 1;
+      l.sharers <- bit l.owner lor bit core;
+      l.owner <- -1;
+      let latency = serialize l ~now xfer in
+      let latency = max latency (l.ready_at - now) in
+      l.ready_at <- now + latency;
+      { latency; cross_node = cross; hit = false }
+    end
+    else if l.sharers <> 0 then begin
+      let best = ref Topology.Cross_node in
+      let rank = function
+        | Topology.Same_core -> 0
+        | Topology.Same_cluster -> 1
+        | Topology.Same_node -> 2
+        | Topology.Cross_node -> 3
+      in
+      iter_mask l.sharers (fun c ->
+          let d = Topology.distance t.topo core c in
+          if rank d < rank !best then best := d);
+      let xfer = Latency.transfer t.lat !best in
+      t.c_transfers <- t.c_transfers + 1;
+      let cross = !best = Topology.Cross_node in
+      if cross then t.c_cross <- t.c_cross + 1;
+      l.sharers <- l.sharers lor bit core;
+      let latency = max xfer (l.ready_at - now) in
+      l.ready_at <- now + latency;
+      { latency; cross_node = cross; hit = false }
+    end
+    else begin
+      t.c_dram <- t.c_dram + 1;
+      l.sharers <- bit core;
+      let latency = max t.lat.dram (l.ready_at - now) in
+      l.ready_at <- now + latency;
+      { latency; cross_node = false; hit = false }
+    end
+
+  let write_latency t ~core l =
+    if l.owner = core then (t.lat.l1_hit, false, true)
+    else begin
+      let others = l.sharers land lnot (bit core) in
+      let others = if l.owner >= 0 then others lor bit l.owner else others in
+      if others = 0 then
+        if l.sharers land bit core <> 0 then (t.lat.l1_hit, false, true)
+        else begin
+          t.c_dram <- t.c_dram + 1;
+          (t.lat.dram, false, false)
+        end
+      else begin
+        let d = worst_distance t core others in
+        let cycles = Latency.transfer t.lat d in
+        t.c_transfers <- t.c_transfers + 1;
+        let inval_count = ref 0 in
+        iter_mask others (fun _ -> incr inval_count);
+        t.c_inval <- t.c_inval + !inval_count;
+        let cross = d = Topology.Cross_node in
+        if cross then t.c_cross <- t.c_cross + 1;
+        (cycles, cross, false)
+      end
+    end
+
+  let write_begin t ~now ~core ~addr =
+    let l = line t addr in
+    if l.pending_writer = core && l.pending_until > now then begin
+      t.c_hits <- t.c_hits + 1;
+      { latency = max t.lat.l1_hit (l.pending_until - now); cross_node = false; hit = true }
+    end
+    else begin
+      let cycles, cross, hit = write_latency t ~core l in
+      if hit then t.c_hits <- t.c_hits + 1;
+      let latency =
+        if hit && l.owner = core then cycles else serialize l ~now cycles
+      in
+      l.pending_writer <- core;
+      l.pending_until <- now + latency;
+      { latency; cross_node = cross; hit }
+    end
+
+  let write_finish t ~now ~core ~addr =
+    let l = line t addr in
+    l.owner <- core;
+    l.sharers <- bit core;
+    if now > l.ready_at then l.ready_at <- now;
+    if l.pending_writer = core && l.pending_until <= now then l.pending_writer <- -1
+
+  let extend_pending t ~core ~addr ~until =
+    let l = line t addr in
+    if l.pending_writer = core && until > l.pending_until then l.pending_until <- until
+
+  let place t ~core ~addr =
+    let l = line t addr in
+    l.owner <- core;
+    l.sharers <- bit core
+
+  let rmw t ~now ~core ~addr =
+    let l = line t addr in
+    let cycles, cross, hit = write_latency t ~core l in
+    if hit then t.c_hits <- t.c_hits + 1;
+    let latency =
+      (if hit && l.owner = core then cycles else serialize l ~now cycles) + t.lat.rmw_extra
+    in
+    l.owner <- core;
+    l.sharers <- bit core;
+    l.ready_at <- now + latency;
+    { latency; cross_node = cross; hit = false }
+
+  let load_value t ~addr =
+    match Hashtbl.find_opt t.values (addr lsr 3) with Some v -> v | None -> 0L
+
+  let commit_store t ~addr v = Hashtbl.replace t.values (addr lsr 3) v
+
+  let counters t = (t.c_hits, t.c_transfers, t.c_cross, t.c_dram, t.c_inval)
+end
+
+(* ---------- Trace driver ---------- *)
+
+let check_access ~op ~step (a : Memsys.access) (r : Ref.access) =
+  if a.latency <> r.latency || a.cross_node <> r.cross_node || a.hit <> r.hit then
+    failf "step %d (%s): got {lat=%d;cross=%b;hit=%b}, seed {lat=%d;cross=%b;hit=%b}"
+      step op a.latency a.cross_node a.hit r.latency r.cross_node r.hit
+
+(* One random trace: monotone time, random cores, a small address pool so
+   lines are contended, and every directory-touching operation of the
+   interface. *)
+let run_trace ~topo ~lat ~seed ~steps =
+  let rng = Rng.create seed in
+  let ncores = Topology.num_cores topo in
+  let sys = Memsys.create ~topo ~lat in
+  let rf = Ref.create ~topo ~lat in
+  (* 12 lines, with a couple of distinct words per line so value storage
+     and line state interact. *)
+  let addr () = (Rng.int rng 12 * 64) + (Rng.int rng 2 * 8) in
+  let now = ref 0 in
+  for step = 1 to steps do
+    now := !now + Rng.int rng 5;
+    let now = !now in
+    let core = Rng.int rng ncores in
+    let addr = addr () in
+    (match Rng.int rng 8 with
+    | 0 | 1 ->
+      check_access ~op:"read" ~step
+        (Memsys.read sys ~now ~core ~addr)
+        (Ref.read rf ~now ~core ~addr)
+    | 2 | 3 ->
+      check_access ~op:"write_begin" ~step
+        (Memsys.write_begin sys ~now ~core ~addr)
+        (Ref.write_begin rf ~now ~core ~addr)
+    | 4 ->
+      Memsys.write_finish sys ~now ~core ~addr;
+      Ref.write_finish rf ~now ~core ~addr
+    | 5 ->
+      let until = now + Rng.int rng 200 in
+      Memsys.extend_pending sys ~core ~addr ~until;
+      Ref.extend_pending rf ~core ~addr ~until
+    | 6 ->
+      if Rng.int rng 4 = 0 then begin
+        Memsys.place sys ~core ~addr;
+        Ref.place rf ~core ~addr
+      end
+      else
+        check_access ~op:"rmw" ~step
+          (Memsys.rmw sys ~now ~core ~addr)
+          (Ref.rmw rf ~now ~core ~addr)
+    | _ ->
+      let v = Int64.of_int (Rng.int rng 1_000_000) in
+      Memsys.commit_store sys ~addr v;
+      Ref.commit_store rf ~addr v);
+    let v = Memsys.load_value sys ~addr in
+    let rv = Ref.load_value rf ~addr in
+    if v <> rv then failf "step %d: load_value %Ld, seed %Ld" step v rv
+  done;
+  let c = Memsys.counters sys in
+  let rh, rt, rc, rd, ri = Ref.counters rf in
+  check Alcotest.int "hits" rh c.hits;
+  check Alcotest.int "transfers" rt c.transfers;
+  check Alcotest.int "cross-node transfers" rc c.cross_node_transfers;
+  check Alcotest.int "dram fills" rd c.dram_fills;
+  check Alcotest.int "invalidations" ri c.invalidations
+
+let kunpeng_topo = Topology.make ~nodes:2 ~clusters_per_node:7 ~cores_per_cluster:4
+
+let kunpeng_lat : Latency.t =
+  {
+    l1_hit = 2;
+    same_cluster = 10;
+    same_node = 10;
+    cross_node = 62;
+    dram = 90;
+    bisection_rt = 5;
+    domain_rt = 320;
+    rmw_extra = 6;
+  }
+
+let biglittle_topo = Topology.heterogeneous ~nodes:1 ~cluster_sizes:[ 4; 4 ]
+
+let biglittle_lat : Latency.t =
+  {
+    l1_hit = 2;
+    same_cluster = 7;
+    same_node = 24;
+    cross_node = 60;
+    dram = 80;
+    bisection_rt = 3;
+    domain_rt = 90;
+    rmw_extra = 5;
+  }
+
+let test_diff_kunpeng () =
+  for seed = 1 to 8 do
+    run_trace ~topo:kunpeng_topo ~lat:kunpeng_lat ~seed ~steps:20_000
+  done
+
+let test_diff_biglittle () =
+  for seed = 100 to 107 do
+    run_trace ~topo:biglittle_topo ~lat:biglittle_lat ~seed ~steps:20_000
+  done
+
+let () =
+  Alcotest.run "memsys-diff"
+    [
+      ( "differential vs seed implementation",
+        [
+          test_case "kunpeng916-like topology" `Quick test_diff_kunpeng;
+          test_case "big.LITTLE topology" `Quick test_diff_biglittle;
+        ] );
+    ]

@@ -108,9 +108,83 @@ let test_eq_until () =
   for i = 1 to 10 do
     Event_queue.schedule q ~at:(i * 10) (fun () -> incr fired)
   done;
-  Event_queue.run ~until:50 q;
-  check Alcotest.int "only events <= 50" 5 !fired;
-  check Alcotest.int "rest pending" 5 (Event_queue.pending q)
+  Event_queue.run ~until:55 q;
+  check Alcotest.int "only events <= 55" 5 !fired;
+  check Alcotest.int "rest pending" 5 (Event_queue.pending q);
+  check Alcotest.int "clock advanced to until" 55 (Event_queue.now q)
+
+let test_eq_until_empty_queue () =
+  (* Draining early still advances the clock to [until]: simulated time
+     passes even when nothing is scheduled in it. *)
+  let q = Event_queue.create () in
+  Event_queue.schedule q ~at:10 ignore;
+  Event_queue.run ~until:100 q;
+  check Alcotest.int "clock at until after drain" 100 (Event_queue.now q);
+  (* ... but a [max_events] stop leaves the clock at the last event. *)
+  let q2 = Event_queue.create () in
+  Event_queue.schedule q2 ~at:10 ignore;
+  Event_queue.schedule q2 ~at:20 ignore;
+  Event_queue.run ~until:100 ~max_events:1 q2;
+  check Alcotest.int "clock at last event on budget stop" 10 (Event_queue.now q2)
+
+(* Every event must fire in strictly increasing (time, insertion) order,
+   whatever mix of scheduling, partial pops and same-cycle reentrant
+   scheduling produced it — the packed-heap-key invariant. *)
+let prop_eq_fifo_order =
+  QCheck.Test.make ~name:"event queue fires in (time, insertion) order" ~count:300
+    QCheck.(list (pair (int_range 0 40) (int_range 0 3)))
+    (fun cmds ->
+      let q = Event_queue.create () in
+      let fired = ref [] in
+      let counter = ref 0 in
+      let rec sched at reentrant =
+        let idx = !counter in
+        incr counter;
+        Event_queue.schedule q ~at (fun () ->
+            fired := (Event_queue.now q, idx) :: !fired;
+            if reentrant > 0 then sched (Event_queue.now q) (reentrant - 1))
+      in
+      List.iter
+        (fun (at, action) ->
+          match action with
+          | 0 -> sched at 0
+          | 1 -> sched at 2 (* fires two more at its own cycle *)
+          | 2 -> ignore (Event_queue.run_next q)
+          | _ ->
+            sched at 0;
+            sched at 0)
+        cmds;
+      Event_queue.run q;
+      let order = List.rev !fired in
+      let rec strictly_sorted = function
+        | (t1, i1) :: ((t2, i2) :: _ as rest) ->
+          (t1 < t2 || (t1 = t2 && i1 < i2)) && strictly_sorted rest
+        | _ -> true
+      in
+      strictly_sorted order && List.length order = !counter)
+
+(* Push the per-queue sequence counter past its 24-bit field so the
+   pending events get renumbered, and check ordering still holds. *)
+let test_eq_seq_renumber () =
+  let q = Event_queue.create () in
+  let fired = ref 0 in
+  let last = ref (-1) in
+  let n = (1 lsl 24) + 5000 in
+  let fire () =
+    incr fired;
+    let t = Event_queue.now q in
+    if t < !last then Alcotest.failf "time went backwards: %d after %d" t !last;
+    last := t
+  in
+  for i = 0 to n - 1 do
+    Event_queue.schedule q ~at:(i / 64) fire;
+    (* Pop all but every 1024th event so the pending set stays small
+       (renumbering is triggered by the sequence counter, not by queue
+       depth) while still leaving real events to renumber. *)
+    if i land 1023 <> 0 then ignore (Event_queue.run_next q)
+  done;
+  Event_queue.run q;
+  check Alcotest.int "all events fired across renumbering" n !fired
 
 (* ---------- RNG ---------- *)
 
@@ -266,6 +340,10 @@ let () =
           Alcotest.test_case "past events clamp to now" `Quick test_eq_past_clamped;
           Alcotest.test_case "cascading schedules" `Quick test_eq_cascade;
           Alcotest.test_case "run ~until" `Quick test_eq_until;
+          Alcotest.test_case "run ~until advances clock on drain" `Quick
+            test_eq_until_empty_queue;
+          QCheck_alcotest.to_alcotest prop_eq_fifo_order;
+          Alcotest.test_case "sequence renumbering" `Slow test_eq_seq_renumber;
         ] );
       ( "rng",
         [
