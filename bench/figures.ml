@@ -14,7 +14,11 @@ module Series = Armb_sim.Series
 
 let kunpeng = P.kunpeng916
 
-let cross_pair = (0, Armb_mem.Topology.num_cores kunpeng.Armb_cpu.Config.topo / 2)
+(* Shared run parameters: the same record the CLI builds from its
+   flags, so bench and `armb` agree on placement, seed and trials. *)
+let rc = Armb_platform.Run_config.make kunpeng
+
+let cross_pair = rc.Armb_platform.Run_config.cores
 
 let section title =
   Printf.printf "\n================ %s ================\n%!" title
@@ -28,7 +32,7 @@ let table1 () =
     (fun (t : Lang.test) ->
       let wmm = Enumerate.allows Enumerate.Wmm t in
       let tso = Enumerate.allows Enumerate.Tso t in
-      let sim = Sim_runner.run ~trials:300 t in
+      let sim = Sim_runner.run ~trials:rc.Armb_platform.Run_config.trials t in
       Printf.printf "%-18s TSO:%-9s WMM:%-9s simulator witnessed: %b\n" t.Lang.name
         (if tso then "Allowed" else "Forbidden")
         (if wmm then "Allowed" else "Forbidden")

@@ -16,6 +16,13 @@ let perf () =
 
 let registry = Figures.all @ [ ("perf", perf); ("native", Natives.run) ]
 
+(* Every experiment reports its own wall time, so a slow regeneration
+   can be blamed on a specific figure rather than the whole run. *)
+let timed id f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Printf.printf "[%s: %.1f s]\n%!" id (Unix.gettimeofday () -. t0)
+
 let list_ids () =
   print_endline "available experiments:";
   List.iter (fun (id, _) -> Printf.printf "  %s\n" id) registry
@@ -25,7 +32,7 @@ let () =
   | [] | _ :: [] ->
     Printf.printf
       "Regenerating every table and figure (see EXPERIMENTS.md for analysis)...\n%!";
-    List.iter (fun (_, f) -> f ()) registry
+    List.iter (fun (id, f) -> timed id f) registry
   | _ :: [ "list" ] -> list_ids ()
   | _ :: ids ->
     (* Validate the whole selection before running anything: a typo at
@@ -37,4 +44,4 @@ let () =
       list_ids ();
       exit 1
     end;
-    List.iter (fun id -> (List.assoc id registry) ()) ids
+    List.iter (fun id -> timed id (List.assoc id registry)) ids

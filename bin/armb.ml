@@ -1,7 +1,7 @@
 (* armb: command-line front end of the library.
 
    Subcommands: platforms, model, tipping, observations, advise, litmus,
-   check, ring, report, fuzz, perf, trace.  See `armb --help`. *)
+   check, ring, report, fuzz, perturb, perf, trace.  See `armb --help`. *)
 
 open Cmdliner
 
@@ -10,6 +10,7 @@ module Advisor = Armb_core.Advisor
 module Barrier = Armb_cpu.Barrier
 module Ordering = Armb_core.Ordering
 module P = Armb_platform.Platform
+module RC = Armb_platform.Run_config
 
 let platform_arg =
   let parse s =
@@ -23,8 +24,42 @@ let platform_arg =
 let platform =
   Arg.(value & opt platform_arg P.kunpeng916 & info [ "p"; "platform" ] ~docv:"NAME" ~doc:"Target platform (kunpeng916, kirin960, kirin970, raspberrypi4).")
 
-let cores =
-  Arg.(value & opt (pair ~sep:',' int int) (0, 28) & info [ "cores" ] ~docv:"A,B" ~doc:"Cores the two threads bind to.")
+(* Every simulator-facing subcommand shares one validated Run_config
+   term: platform, core pair, seed and trial count all parse and
+   validate in one place instead of each command re-plumbing positional
+   tuples.  [trials_default] keeps each command's historical default. *)
+let run_config ?(trials_default = 300) () =
+  let cores =
+    Arg.(value & opt (some (pair ~sep:',' int int)) None
+         & info [ "cores" ] ~docv:"A,B"
+             ~doc:"Cores the two threads bind to (default: core 0 and the first core of the \
+                   far half of the machine).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Base RNG seed (litmus harnesses, fault plans).")
+  in
+  let trials =
+    Arg.(value & opt int trials_default
+         & info [ "trials" ] ~docv:"N" ~doc:"Simulator trials per litmus experiment.")
+  in
+  let build cfg cores seed trials =
+    match RC.make ?cores ~seed ~trials cfg with
+    | rc -> Ok rc
+    | exception Invalid_argument m -> Error (`Msg m)
+  in
+  Term.(term_result (const build $ platform $ cores $ seed $ trials))
+
+(* Fault intensity knob shared by the subcommands that can perturb a
+   run (ring, perturb, fuzz, perf). *)
+let fault_intensity =
+  Arg.(value & opt float 0.0
+       & info [ "fault" ] ~docv:"X"
+           ~doc:"Fault-injection intensity in [0,1]: 0 disables (default), 1 arms every \
+                 site of the deterministic fault plan.")
+
+let fault_of ~(rc : RC.t) ~name intensity =
+  if intensity <= 0.0 then None
+  else Some (Armb_fault.Plan.of_intensity ~seed:rc.seed ~name intensity)
 
 let approaches =
   [
@@ -68,31 +103,34 @@ let platforms_cmd =
 (* ---------- model ---------- *)
 
 let model_cmd =
-  let run cfg cores mem_ops approach location nops iters =
-    let spec = { (AM.default_spec cfg) with cores; mem_ops; approach; location; nops; iters } in
+  let run (rc : RC.t) mem_ops approach location nops iters =
+    let spec =
+      { (AM.default_spec rc.cfg) with cores = rc.cores; mem_ops; approach; location; nops; iters }
+    in
     if not (AM.valid spec) then begin
       Printf.eprintf "invalid combination: %s with this mem-ops kind\n" (AM.label spec);
       exit 1
     end;
     let thr = AM.run spec in
     Printf.printf "%s on %s, %d nops: %.2f M loops/s (%d cycles)\n" (AM.label spec)
-      cfg.Armb_cpu.Config.name nops (thr /. 1e6) (AM.run_cycles spec)
+      rc.cfg.Armb_cpu.Config.name nops (thr /. 1e6) (AM.run_cycles spec)
   in
   Cmd.v
     (Cmd.info "model" ~doc:"Run one abstracted model (the paper's Algorithm 1).")
-    Term.(const run $ platform $ cores $ mem_ops $ approach $ location $ nops $ iters)
+    Term.(const run $ run_config () $ mem_ops $ approach $ location $ nops $ iters)
 
 (* ---------- tipping ---------- *)
 
 let tipping_cmd =
-  let run cfg cores =
-    match Armb_core.Characterize.tipping_point cfg ~cores () with
-    | Some n -> Printf.printf "DMB full fully hidden behind ~%d NOPs on %s\n" n cfg.Armb_cpu.Config.name
+  let run (rc : RC.t) =
+    match Armb_core.Characterize.tipping_point rc.cfg ~cores:rc.cores () with
+    | Some n ->
+      Printf.printf "DMB full fully hidden behind ~%d NOPs on %s\n" n rc.cfg.Armb_cpu.Config.name
     | None -> print_endline "no tipping point found in the sweep"
   in
   Cmd.v
     (Cmd.info "tipping" ~doc:"Find the NOP count at which DMB full-2 matches No Barrier (Figure 4).")
-    Term.(const run $ platform $ cores)
+    Term.(const run $ run_config ())
 
 (* ---------- observations ---------- *)
 
@@ -137,8 +175,7 @@ let litmus_cmd =
   let test_name =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Test name (default: all).")
   in
-  let trials = Arg.(value & opt int 300 & info [ "trials" ] ~docv:"N" ~doc:"Simulator trials.") in
-  let run test_name trials =
+  let run (rc : RC.t) test_name =
     let tests =
       match test_name with
       | None -> Armb_litmus.Catalogue.all
@@ -159,7 +196,7 @@ let litmus_cmd =
       (fun (t : Armb_litmus.Lang.test) ->
         let wmm = Armb_litmus.Enumerate.allows Armb_litmus.Enumerate.Wmm t in
         let tso = Armb_litmus.Enumerate.allows Armb_litmus.Enumerate.Tso t in
-        let r = Armb_litmus.Sim_runner.run ~trials t in
+        let r = Armb_litmus.Sim_runner.run ~trials:rc.trials ~seed:rc.seed t in
         Printf.printf "%-18s TSO:%-9s WMM:%-9s witnessed:%b\n" t.name
           (if tso then "Allowed" else "Forbidden")
           (if wmm then "Allowed" else "Forbidden")
@@ -169,7 +206,7 @@ let litmus_cmd =
   in
   Cmd.v
     (Cmd.info "litmus" ~doc:"Run litmus tests exhaustively and on the timing simulator.")
-    Term.(const run $ test_name $ trials)
+    Term.(const run $ run_config () $ test_name)
 
 (* ---------- check ---------- *)
 
@@ -179,10 +216,8 @@ let check_cmd =
          & info [] ~docv:"NAME"
              ~doc:"Litmus test to sanitize (default: cross-check the whole catalogue).")
   in
-  let trials =
-    Arg.(value & opt int 50 & info [ "trials" ] ~docv:"N" ~doc:"Simulator trials.")
-  in
-  let run cfg test_name trials =
+  let run (rc : RC.t) test_name =
+    let cfg = rc.cfg and trials = rc.trials in
     let module Sim = Armb_litmus.Sim_runner in
     match test_name with
     | None ->
@@ -224,7 +259,7 @@ let check_cmd =
        ~doc:"Happens-before sanitizer: flag program-order pairs left unordered by \
              barriers/dependencies that other cores can observe reordered, with a \
              suggested minimal fix.")
-    Term.(const run $ platform $ test_name $ trials)
+    Term.(const run $ run_config ~trials_default:50 () $ test_name)
 
 (* ---------- ring ---------- *)
 
@@ -233,18 +268,21 @@ let ring_cmd =
     Arg.(value & opt string "DMB ld - DMB st" & info [ "combo" ] ~docv:"NAME" ~doc:"Barrier combination (Figure 6(a) legend name), or \"pilot\".")
   in
   let messages = Arg.(value & opt int 4000 & info [ "messages" ] ~docv:"N" ~doc:"Messages to transfer.") in
-  let run cfg cores combo messages =
+  let run (rc : RC.t) combo messages intensity =
+    let cfg = rc.cfg in
+    let fault = fault_of ~rc ~name:(Printf.sprintf "ring-%.2f" intensity) intensity in
     if String.lowercase_ascii combo = "pilot" then begin
-      let spec = { (Armb_sync.Pilot_ring.default_spec cfg ~cores) with messages } in
+      let spec = { (Armb_sync.Pilot_ring.default_spec cfg ~cores:rc.cores) with messages; fault } in
       let r = Armb_sync.Pilot_ring.run spec in
       Printf.printf "Pilot ring on %s: %.2f M msgs/s (%d fallbacks)\n" cfg.Armb_cpu.Config.name
         (r.throughput /. 1e6) r.fallbacks
     end
     else begin
       let spec =
-        { (Armb_sync.Spsc_ring.default_spec cfg ~cores) with
+        { (Armb_sync.Spsc_ring.default_spec cfg ~cores:rc.cores) with
           messages;
           barriers = Armb_sync.Spsc_ring.combo combo;
+          fault;
         }
       in
       let r = Armb_sync.Spsc_ring.verified_run spec in
@@ -254,7 +292,7 @@ let ring_cmd =
   in
   Cmd.v
     (Cmd.info "ring" ~doc:"Run the producer-consumer ring with a chosen barrier combination.")
-    Term.(const run $ platform $ cores $ combo $ messages)
+    Term.(const run $ run_config () $ combo $ messages $ fault_intensity)
 
 (* ---------- report ---------- *)
 
@@ -270,17 +308,16 @@ let report_cmd =
 
 let fuzz_cmd =
   let tests = Arg.(value & opt int 50 & info [ "tests" ] ~docv:"N" ~doc:"Random tests to generate.") in
-  let trials = Arg.(value & opt int 60 & info [ "trials" ] ~docv:"N" ~doc:"Simulator trials per test.") in
-  let seed = Arg.(value & opt int 1234 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed.") in
-  let run tests trials_per_test seed =
-    let r = Armb_litmus.Fuzz.run ~tests ~trials_per_test ~seed () in
+  let run (rc : RC.t) tests intensity =
+    let fault = fault_of ~rc ~name:(Printf.sprintf "fuzz-%.2f" intensity) intensity in
+    let r = Armb_litmus.Fuzz.run ?fault ~tests ~trials_per_test:rc.trials ~seed:rc.seed () in
     Format.printf "%a@." Armb_litmus.Fuzz.pp_report r;
     if r.Armb_litmus.Fuzz.violations <> [] then exit 1
   in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"Differential fuzz: random litmus tests, simulator outcomes checked against the operational model.")
-    Term.(const run $ tests $ trials $ seed)
+    Term.(const run $ run_config ~trials_default:60 () $ tests $ fault_intensity)
 
 (* ---------- perf ---------- *)
 
@@ -297,10 +334,17 @@ let perf_cmd =
   let tolerance =
     Arg.(value & opt float 0.2 & info [ "tolerance" ] ~docv:"FRAC" ~doc:"Allowed fractional events/sec regression vs the baseline (default 0.2 = 20%).")
   in
-  let run quick out baseline tolerance =
+  let run quick out baseline tolerance intensity =
     let module Perf = Armb_perf.Perf in
+    let fault =
+      if intensity <= 0.0 then None
+      else
+        Some
+          (Armb_fault.Plan.of_intensity ~seed:42 ~name:(Printf.sprintf "perf-%.2f" intensity)
+             intensity)
+    in
     let base = Option.map (fun p -> (p, Perf.load_json ~path:p)) baseline in
-    let r = Perf.run ~quick ~progress:(fun n -> Printf.printf "perf: %s...\n%!" n) () in
+    let r = Perf.run ~quick ?fault ~progress:(fun n -> Printf.printf "perf: %s...\n%!" n) () in
     Format.printf "%a@." Perf.pp r;
     Perf.write_json ~path:out r;
     Printf.printf "wrote %s\n" out;
@@ -308,25 +352,111 @@ let perf_cmd =
     | None -> ()
     | Some (p, None) ->
       Printf.eprintf "perf: baseline %s missing or unparseable; skipping comparison\n" p
-    | Some (p, Some b) -> (
-      match Perf.compare_against ~baseline:b r ~tolerance with
-      | [] ->
-        Printf.printf "perf: no workload regressed more than %.0f%% vs %s\n"
-          (tolerance *. 100.) p
-      | regs ->
-        List.iter
-          (fun (g : Perf.regression) ->
-            Printf.eprintf "perf: REGRESSION %s: %.0f -> %.0f events/s (-%.1f%%)\n"
-              g.workload g.baseline_eps g.current_eps
-              (100. *. (1. -. (g.current_eps /. g.baseline_eps))))
-          regs;
-        exit 1)
+    | Some (p, Some b) ->
+      (* Comparing across fault plans measures the plan, not the kernel. *)
+      if r.Perf.fault <> b.Perf.fault then
+        Printf.eprintf
+          "perf: baseline %s ran under fault plan %S but this run under %S; skipping comparison\n"
+          p b.Perf.fault r.Perf.fault
+      else (
+        match Perf.compare_against ~baseline:b r ~tolerance with
+        | [] ->
+          Printf.printf "perf: no workload regressed more than %.0f%% vs %s\n"
+            (tolerance *. 100.) p
+        | regs ->
+          List.iter
+            (fun (g : Perf.regression) ->
+              Printf.eprintf "perf: REGRESSION %s: %.0f -> %.0f events/s (-%.1f%%)\n"
+                g.workload g.baseline_eps g.current_eps
+                (100. *. (1. -. (g.current_eps /. g.baseline_eps))))
+            regs;
+          exit 1)
   in
   Cmd.v
     (Cmd.info "perf"
        ~doc:"Kernel-throughput benchmark: events/sec over representative workloads, \
              persisted to BENCH_perf.json, optionally gated against a committed baseline.")
-    Term.(const run $ quick $ out $ baseline $ tolerance)
+    Term.(const run $ quick $ out $ baseline $ tolerance $ fault_intensity)
+
+(* ---------- perturb ---------- *)
+
+let perturb_cmd =
+  let intensities =
+    Arg.(value & opt (list float) [ 0.25; 0.5; 1.0 ]
+         & info [ "intensities" ] ~docv:"X,Y,.."
+             ~doc:"Fault intensities to sweep (0 is always measured as the baseline).")
+  in
+  let messages =
+    Arg.(value & opt int 2000 & info [ "messages" ] ~docv:"N" ~doc:"Ring messages per degradation point.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Also write the report to FILE (CI drift artifact).")
+  in
+  let run (rc : RC.t) intensities messages out =
+    let buf = Buffer.create 4096 in
+    let say fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; print_string s) fmt in
+    let intensities = List.sort_uniq compare (List.filter (fun x -> x > 0.0) intensities) in
+    if intensities = [] then begin
+      Printf.eprintf "perturb: no positive intensities to sweep\n";
+      exit 2
+    end;
+    (* 1. the litmus catalogue under perturbation: legality + drift *)
+    say "== litmus catalogue under fault injection (%s, %d trials, seed %d) ==\n"
+      rc.cfg.Armb_cpu.Config.name rc.trials rc.seed;
+    let sweep =
+      Armb_litmus.Perturb.sweep ~cfg:rc.cfg ~trials:rc.trials ~seed:rc.seed ~intensities ()
+    in
+    List.iter
+      (fun (s : Armb_litmus.Perturb.summary) ->
+        say "%s\n" (Format.asprintf "%a" Armb_litmus.Perturb.pp_summary s))
+      sweep.summaries;
+    let bad = List.filter (fun (r : Armb_litmus.Perturb.row) -> not r.row_ok) sweep.results in
+    List.iter
+      (fun (r : Armb_litmus.Perturb.row) ->
+        say "VIOLATION %s\n" (Format.asprintf "%a" Armb_litmus.Perturb.pp_row r))
+      bad;
+    (* 2. degradation curve of the message-passing ring, Pilot included *)
+    let a, b = rc.cores in
+    say "\n== MP ring degradation (%s, cores %d,%d, %d messages) ==\n"
+      rc.cfg.Armb_cpu.Config.name a b messages;
+    let spsc intensity =
+      let fault = fault_of ~rc ~name:(Printf.sprintf "perturb-%.2f" intensity) intensity in
+      let spec =
+        { (Armb_sync.Spsc_ring.default_spec rc.cfg ~cores:rc.cores) with messages; fault }
+      in
+      (Armb_sync.Spsc_ring.verified_run spec).Armb_sync.Spsc_ring.throughput
+    in
+    let pilot intensity =
+      let fault = fault_of ~rc ~name:(Printf.sprintf "perturb-%.2f" intensity) intensity in
+      let spec =
+        { (Armb_sync.Pilot_ring.default_spec rc.cfg ~cores:rc.cores) with messages; fault }
+      in
+      (Armb_sync.Pilot_ring.run spec).Armb_sync.Pilot_ring.throughput
+    in
+    let base_spsc = spsc 0.0 and base_pilot = pilot 0.0 in
+    say "  %-10s %22s %22s\n" "intensity" "DMB ld - DMB st" "Pilot";
+    let point intensity s p =
+      say "  %-10.2f %12.2f (%.2fx) %12.2f (%.2fx)\n" intensity (s /. 1e6) (s /. base_spsc)
+        (p /. 1e6) (p /. base_pilot)
+    in
+    point 0.0 base_spsc base_pilot;
+    List.iter (fun x -> point x (spsc x) (pilot x)) intensities;
+    say "\nperturbation sweep: %s\n" (if sweep.ok then "ok" else "FAIL");
+    (match out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "wrote %s\n" path);
+    if not sweep.ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "perturb"
+       ~doc:"Sweep deterministic fault-injection intensity: litmus outcome drift and \
+             legality plus the message-passing ring's degradation curve (Pilot included).")
+    Term.(const run $ run_config ~trials_default:40 () $ intensities $ messages $ out)
 
 (* ---------- trace ---------- *)
 
@@ -335,10 +465,11 @@ let trace_cmd =
     Arg.(value & opt string "armb-trace.json" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (Chrome trace-event JSON).")
   in
   let messages = Arg.(value & opt int 200 & info [ "messages" ] ~docv:"N" ~doc:"Ring messages to trace.") in
-  let run cfg cores out messages =
+  let run (rc : RC.t) out messages =
+    let cfg = rc.cfg in
     let tr = Armb_cpu.Trace.create () in
     let spec =
-      { (Armb_sync.Spsc_ring.default_spec cfg ~cores) with messages }
+      { (Armb_sync.Spsc_ring.default_spec cfg ~cores:rc.cores) with messages }
     in
     (* rebuild the ring run with a traced machine *)
     let m = Armb_cpu.Machine.create ~tracer:(Armb_cpu.Trace.emit tr) cfg in
@@ -372,7 +503,7 @@ let trace_cmd =
   in
   Cmd.v
     (Cmd.info "trace" ~doc:"Trace a producer-consumer run and export Chrome trace-event JSON.")
-    Term.(const run $ platform $ cores $ out $ messages)
+    Term.(const run $ run_config () $ out $ messages)
 
 let () =
   let doc = "ARM barrier characterization and optimization toolkit (PPoPP'20 reproduction)" in
@@ -390,6 +521,7 @@ let () =
             ring_cmd;
             report_cmd;
             fuzz_cmd;
+            perturb_cmd;
             perf_cmd;
             trace_cmd;
           ]))

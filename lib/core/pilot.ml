@@ -1,72 +1,10 @@
-type write_op = Write_data of int64 | Toggle_flag
+(* The simulator-facing instance of the canonical Pilot codec: machine
+   words are int64, the shuffle pool uses the raw SplitMix64 draws. *)
+include Armb_primitives.Pilot_word.Make (struct
+  type t = int64
 
-type sender = {
-  s_pool : int64 array;
-  mutable s_cnt : int;
-  mutable s_old_data : int64;  (* last value written to the shared data word *)
-  mutable s_flag : int64;  (* our view of the shared flag word *)
-}
-
-type receiver = {
-  r_pool : int64 array;
-  mutable r_cnt : int;
-  mutable r_old_data : int64;
-  mutable r_old_flag : int64;
-}
-
-let default_pool_size = 64
-
-let make_pool ?(size = default_pool_size) ~seed () =
-  if size <= 0 then invalid_arg "Pilot.make_pool: size must be positive";
-  let rng = Armb_sim.Rng.create (seed lxor 0x9E37) in
-  Array.init size (fun _ -> Armb_sim.Rng.bits64 rng)
-
-let sender pool =
-  if Array.length pool = 0 then invalid_arg "Pilot.sender: empty pool";
-  { s_pool = pool; s_cnt = 0; s_old_data = 0L; s_flag = 0L }
-
-let receiver pool =
-  if Array.length pool = 0 then invalid_arg "Pilot.receiver: empty pool";
-  { r_pool = pool; r_cnt = 0; r_old_data = 0L; r_old_flag = 0L }
-
-(* Algorithm 3: shuffle, then either publish the new data word or, when
-   the shuffled value collides with the previous one, toggle the flag
-   (the data word already holds the right value). *)
-let encode s msg =
-  let h = s.s_pool.(s.s_cnt mod Array.length s.s_pool) in
-  s.s_cnt <- s.s_cnt + 1;
-  let shuffled = Int64.logxor msg h in
-  if Int64.equal shuffled s.s_old_data then begin
-    s.s_flag <- Int64.logxor s.s_flag 1L;
-    Toggle_flag
-  end
-  else begin
-    s.s_old_data <- shuffled;
-    Write_data shuffled
-  end
-
-(* Algorithm 4: a change in [data] or in [flag] both mean "one new
-   message"; in the flag case the payload is the (unchanged) data
-   word. *)
-let try_decode r ~data ~flag =
-  let fresh =
-    if not (Int64.equal data r.r_old_data) then begin
-      r.r_old_data <- data;
-      true
-    end
-    else if not (Int64.equal flag r.r_old_flag) then begin
-      r.r_old_flag <- flag;
-      true
-    end
-    else false
-  in
-  if not fresh then None
-  else begin
-    let h = r.r_pool.(r.r_cnt mod Array.length r.r_pool) in
-    r.r_cnt <- r.r_cnt + 1;
-    Some (Int64.logxor r.r_old_data h)
-  end
-
-let sent s = s.s_cnt
-
-let received r = r.r_cnt
+  let equal = Int64.equal
+  let logxor = Int64.logxor
+  let zero = 0L
+  let of_pool v = v
+end)

@@ -1,6 +1,7 @@
 module Memsys = Armb_mem.Memsys
 module Event_queue = Armb_sim.Event_queue
 module Int_table = Armb_sim.Int_table
+module Injector = Armb_fault.Injector
 
 type token = {
   mutable completed : bool;
@@ -57,6 +58,7 @@ type t = {
   mutable cross_store_until : int;
   tracer : (Trace.span -> unit) option;
   observer : Observe.t option;
+  fault : Injector.t option;
   mutable op_seq : int; (* next observer event index *)
   (* Counters. *)
   mutable n_loads : int;
@@ -68,11 +70,12 @@ type t = {
 
 type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
 
-let make ?tracer ?observer ~id ~cfg ~queue ~mem () =
+let make ?tracer ?observer ?fault ~id ~cfg ~queue ~mem () =
   Config.validate cfg;
   {
     tracer;
     observer;
+    fault;
     op_seq = 0;
     id;
     cfg;
@@ -118,6 +121,21 @@ let maybe_yield t =
 
 let counters t =
   { loads = t.n_loads; stores = t.n_stores; barriers = t.n_barriers; rmws = t.n_rmws; spins = t.n_spins }
+
+(* Fault injection: lose issue slots before a memory operation (a
+   frontend/dispatch hiccup).  Pure delay, zero-cost when unwired. *)
+let[@inline] fault_stall t =
+  match t.fault with
+  | None -> ()
+  | Some f ->
+    let s = Injector.stall f in
+    if s > 0 then t.cursor <- t.cursor + s
+
+(* Extra response delay of a barrier's ACE transaction when the fault
+   plan NACKs it: each retry round pays the plan's exponential backoff
+   before the fabric accepts the transaction. *)
+let[@inline] fault_barrier_delay t =
+  match t.fault with None -> 0 | Some f -> Injector.barrier_delay f
 
 let sync_to t time = if time > t.cursor then t.cursor <- time
 
@@ -282,6 +300,7 @@ let line_load_gate t addr = Int_table.get t.line_load_until (addr lsr 6) ~defaul
 let load_aux t ~acquire ~deps addr =
   t.n_loads <- t.n_loads + 1;
   maybe_yield t;
+  fault_stall t;
   let t_issue = max t.cursor t.load_gate in
   let cell = fwd_cell t addr in
   if cell.fn > 0 then begin
@@ -385,6 +404,7 @@ let store_common t addr v ~drain_start ~extra ~release ~deps =
 let store t ?(deps = []) addr v =
   t.n_stores <- t.n_stores + 1;
   maybe_yield t;
+  fault_stall t;
   sb_reserve t;
   (* po-loc: may not commit before earlier same-line loads complete *)
   let drain_start = max (max t.cursor t.sb_gate) (line_load_gate t addr) in
@@ -393,6 +413,7 @@ let store t ?(deps = []) addr v =
 let stlr t ?(deps = []) addr v =
   t.n_stores <- t.n_stores + 1;
   maybe_yield t;
+  fault_stall t;
   sb_reserve t;
   (* Release: all prior loads and stores must be observable before the
      released store commits. *)
@@ -421,7 +442,10 @@ let ldar t ?(deps = []) addr =
    relevant is outstanding the transaction terminates internally. *)
 let dmb_response t resp_base =
   if resp_base <= t.cursor then t.cursor + t.cfg.dmb_min
-  else resp_base + t.cfg.lat.bisection_rt
+  else
+    (* A transaction that does travel to the boundary is exposed to the
+       fabric: a fault plan may NACK it, charging backoff per retry. *)
+    resp_base + t.cfg.lat.bisection_rt + fault_barrier_delay t
 
 let barrier t (b : Barrier.t) =
   t.n_barriers <- t.n_barriers + 1;
@@ -466,7 +490,7 @@ let barrier t (b : Barrier.t) =
     in
     (* The synchronization barrier transaction always travels to the
        inner domain boundary and blocks every subsequent instruction. *)
-    let resp = max t.cursor resp_base + t.cfg.lat.domain_rt in
+    let resp = max t.cursor resp_base + t.cfg.lat.domain_rt + fault_barrier_delay t in
     t.cursor <- resp;
     t.load_gate <- max t.load_gate resp;
     t.sb_gate <- max t.sb_gate resp;
@@ -489,6 +513,7 @@ let barrier t (b : Barrier.t) =
 let rmw t ?(acq = false) ?(rel = false) ?(deps = []) addr f =
   t.n_rmws <- t.n_rmws + 1;
   maybe_yield t;
+  fault_stall t;
   let start = max (max t.cursor t.load_gate) (line_load_gate t addr) in
   let start =
     if rel then max start (max t.last_load_complete t.last_store_complete) else start

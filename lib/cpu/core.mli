@@ -127,6 +127,7 @@ type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
 val make :
   ?tracer:(Trace.span -> unit) ->
   ?observer:Observe.t ->
+  ?fault:Armb_fault.Injector.t ->
   id:int ->
   cfg:Config.t ->
   queue:Armb_sim.Event_queue.t ->

@@ -15,19 +15,30 @@ type t = {
   threads : (int, thread) Hashtbl.t;
   tracer : (Trace.span -> unit) option;
   observer : Observe.t option;
+  injector : Armb_fault.Injector.t option;
   mutable next_line : int;
   mutable unfinished : int;
 }
 
-let create ?tracer ?observer cfg =
+let create ?tracer ?observer ?fault cfg =
   Config.validate cfg;
+  (* A null plan (all probabilities zero) is identical to no plan; drop
+     it so the faults-off fast path in Memsys/Core stays branch-free on
+     an [option] check and the golden digests cover it. *)
+  let injector =
+    match fault with
+    | Some spec when not (Armb_fault.Plan.is_null spec) ->
+      Some (Armb_fault.Injector.create spec)
+    | Some _ | None -> None
+  in
   {
     cfg;
     q = Event_queue.create ();
-    memory = Memsys.create ~topo:cfg.topo ~lat:cfg.lat;
+    memory = Memsys.create ?inj:injector ~topo:cfg.topo ~lat:cfg.lat ();
     threads = Hashtbl.create 16;
     tracer;
     observer;
+    injector;
     next_line = 0x1000;
     unfinished = 0;
   }
@@ -35,6 +46,7 @@ let create ?tracer ?observer cfg =
 let config t = t.cfg
 let mem t = t.memory
 let queue t = t.q
+let injector t = t.injector
 
 let alloc_line t =
   let a = t.next_line in
@@ -53,8 +65,8 @@ let spawn t ~core body =
   if Hashtbl.mem t.threads core then
     raise (Simulation_error (Printf.sprintf "spawn: core %d already has a thread" core));
   let c =
-    Core.make ?tracer:t.tracer ?observer:t.observer ~id:core ~cfg:t.cfg ~queue:t.q
-      ~mem:t.memory ()
+    Core.make ?tracer:t.tracer ?observer:t.observer ?fault:t.injector ~id:core ~cfg:t.cfg
+      ~queue:t.q ~mem:t.memory ()
   in
   Hashtbl.add t.threads core { core = c; body; finished = false };
   t.unfinished <- t.unfinished + 1

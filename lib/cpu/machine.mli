@@ -10,16 +10,29 @@ type status =
 
 exception Simulation_error of string
 
-val create : ?tracer:(Trace.span -> unit) -> ?observer:Observe.t -> Config.t -> t
+val create :
+  ?tracer:(Trace.span -> unit) ->
+  ?observer:Observe.t ->
+  ?fault:Armb_fault.Plan.spec ->
+  Config.t ->
+  t
 (** [tracer] receives a span per simulated micro-operation — see
     {!Trace} for collection and Chrome-trace export.  [observer] is the
     opt-in instrumentation hook fed to every spawned core — the
     happens-before sanitizer ([Armb_check.Sanitizer.observer]) plugs in
-    here; runs without an observer pay no overhead. *)
+    here; runs without an observer pay no overhead.  [fault] arms a
+    deterministic fault-injection plan (see {!Armb_fault.Plan}): one
+    seeded injector is shared by the memory system and every core, so a
+    given plan perturbs a given program identically on every run.  A
+    null plan (all probabilities zero) is equivalent to omitting it. *)
 
 val config : t -> Config.t
 val mem : t -> Armb_mem.Memsys.t
 val queue : t -> Armb_sim.Event_queue.t
+
+val injector : t -> Armb_fault.Injector.t option
+(** The armed fault injector, if any — for post-run fault counters and
+    the per-run event digest. *)
 
 val alloc_line : t -> int
 (** Bump-allocate a fresh cache-line-aligned address (64-byte spacing),

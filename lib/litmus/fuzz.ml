@@ -70,7 +70,7 @@ type report = {
   events : int;
 }
 
-let run ?(tests = 50) ?(trials_per_test = 60) ?(seed = 1234) () =
+let run ?(tests = 50) ?(trials_per_test = 60) ?(seed = 1234) ?fault () =
   let rng = Rng.create seed in
   let checked = ref 0 in
   let violations = ref [] in
@@ -81,7 +81,7 @@ let run ?(tests = 50) ?(trials_per_test = 60) ?(seed = 1234) () =
     let allowed =
       List.map Enumerate.outcome_to_string (Enumerate.enumerate Enumerate.Wmm t)
     in
-    let r = Sim_runner.run ~trials:trials_per_test ~seed:(seed + i) t in
+    let r = Sim_runner.run ~trials:trials_per_test ~seed:(seed + i) ?fault t in
     events := !events + r.Sim_runner.events;
     List.iter
       (fun (o, _) ->

@@ -24,7 +24,15 @@ type report = {
 }
 
 val run :
-  ?tests:int -> ?trials_per_test:int -> ?seed:int -> unit -> report
-(** Differential fuzz: defaults 50 tests x 60 trials. *)
+  ?tests:int ->
+  ?trials_per_test:int ->
+  ?seed:int ->
+  ?fault:Armb_fault.Plan.spec ->
+  unit ->
+  report
+(** Differential fuzz: defaults 50 tests x 60 trials.  With [fault] the
+    simulator side runs under the fault plan — since perturbations are
+    pure latency, every perturbed outcome must {e still} fall inside the
+    WMM-allowed set; a violation indicts the injection sites. *)
 
 val pp_report : Format.formatter -> report -> unit

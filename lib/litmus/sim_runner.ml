@@ -10,6 +10,8 @@ type result = {
   trials : int;
   findings : San.finding list;
   events : int;
+  fault_digest : int64;
+  fault_delay : int;
 }
 
 (* Compile one litmus thread to a simulator program.  Loads are issued
@@ -71,7 +73,7 @@ let compile_thread (th : Lang.thread) ~addr_of ~start_pause ~padding ~record (c 
   Hashtbl.iter (fun r tok -> record r (Core.await c tok)) toks
 
 let run ?(cfg = Armb_platform.Platform.kunpeng916) ?(trials = 200) ?(seed = 42)
-    ?(check = false) (t : Lang.test) =
+    ?(check = false) ?fault (t : Lang.test) =
   let rng = Rng.create seed in
   let nthreads = List.length t.threads in
   let ncores = Armb_mem.Topology.num_cores cfg.topo in
@@ -100,10 +102,19 @@ let run ?(cfg = Armb_platform.Platform.kunpeng916) ?(trials = 200) ?(seed = 42)
      same racy pairs; trials differ only in whether the reordering was
      witnessed.  Dedup by signature, keeping a witnessed copy if any. *)
   let merged : (string, San.finding) Hashtbl.t = Hashtbl.create 8 in
-  for _trial = 1 to trials do
+  let fault_digest = ref 0L in
+  let fault_delay = ref 0 in
+  for trial = 1 to trials do
     let san = if check then Some (San.create ()) else None in
     let observer = Option.map San.observer san in
-    let m = Machine.create ?observer cfg in
+    (* Re-seed the plan per trial so a sweep explores [trials] distinct
+       fault schedules, while staying a pure function of (plan, trial). *)
+    let fault =
+      Option.map
+        (fun (sp : Armb_fault.Plan.spec) -> Armb_fault.Plan.with_seed sp (sp.seed + trial))
+        fault
+    in
+    let m = Machine.create ?observer ?fault cfg in
     let mem = Machine.mem m in
     let addrs = List.map (fun v -> (v, Machine.alloc_line m)) vars in
     let addr_of v = List.assoc v addrs in
@@ -133,6 +144,11 @@ let run ?(cfg = Armb_platform.Platform.kunpeng916) ?(trials = 200) ?(seed = 42)
       t.threads;
     Machine.run_exn m;
     events := !events + Armb_sim.Event_queue.processed (Machine.queue m);
+    (match Machine.injector m with
+    | None -> ()
+    | Some i ->
+      fault_digest := Armb_fault.Injector.combine !fault_digest (Armb_fault.Injector.digest i);
+      fault_delay := !fault_delay + (Armb_fault.Injector.counters i).delay_cycles);
     (* final memory joins the outcome as "mem:<var>" bindings *)
     List.iter2
       (fun (_, a) (_, mname) -> Hashtbl.replace regs mname (Memsys.load_value mem ~addr:a))
@@ -172,6 +188,8 @@ let run ?(cfg = Armb_platform.Platform.kunpeng916) ?(trials = 200) ?(seed = 42)
     trials;
     findings;
     events = !events;
+    fault_digest = !fault_digest;
+    fault_delay = !fault_delay;
   }
 
 let consistent_with_model r (t : Lang.test) = (not r.interesting_witnessed) || t.expect_wmm
@@ -220,19 +238,20 @@ type check_row = {
   row_ok : bool;
 }
 
-let check_test ?cfg ?(trials = 50) ?seed (t : Lang.test) =
-  let base = run ?cfg ~trials ?seed ~check:true t in
+let check_test ?cfg ?(trials = 50) ?seed ?fault (t : Lang.test) =
+  let base = run ?cfg ~trials ?seed ~check:true ?fault t in
   let stripped =
-    if has_order_devices t then Some (run ?cfg ~trials ?seed ~check:true (strip_order t))
+    if has_order_devices t then
+      Some (run ?cfg ~trials ?seed ~check:true ?fault (strip_order t))
     else None
   in
   (base, stripped)
 
-let cross_check ?cfg ?(trials = 50) ?seed () =
+let cross_check ?cfg ?(trials = 50) ?seed ?fault () =
   let rows =
     List.map
       (fun (t : Lang.test) ->
-        let base, stripped = check_test ?cfg ~trials ?seed t in
+        let base, stripped = check_test ?cfg ~trials ?seed ?fault t in
         let base_findings = List.length base.findings in
         let stripped_findings =
           Option.map (fun r -> List.length r.findings) stripped

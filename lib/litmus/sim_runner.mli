@@ -21,6 +21,10 @@ type result = {
       (** sanitizer report, deduplicated across trials; empty unless
           [run ~check:true] *)
   events : int;  (** kernel events processed, summed over all trials *)
+  fault_digest : int64;
+      (** replay witness folding every trial's fault-event digest; [0L]
+          unless a fault plan was armed *)
+  fault_delay : int;  (** total injected extra cycles across all trials *)
 }
 
 val run :
@@ -28,11 +32,15 @@ val run :
   ?trials:int ->
   ?seed:int ->
   ?check:bool ->
+  ?fault:Armb_fault.Plan.spec ->
   Lang.test ->
   result
 (** Defaults: kunpeng916, 200 trials, seed 42, check off.  With
     [~check:true] every trial runs under the happens-before sanitizer
-    ({!Armb_check.Sanitizer}) and [findings] carries the racy pairs. *)
+    ({!Armb_check.Sanitizer}) and [findings] carries the racy pairs.
+    [fault] arms the plan on every trial's machine, re-seeded per trial
+    ([plan.seed + trial]) so the sweep explores distinct fault schedules
+    while remaining a pure function of (plan, seed, trials). *)
 
 val consistent_with_model : result -> Lang.test -> bool
 (** No witnessed interesting outcome unless the weak model allows it —
@@ -69,13 +77,19 @@ val check_test :
   ?cfg:Armb_cpu.Config.t ->
   ?trials:int ->
   ?seed:int ->
+  ?fault:Armb_fault.Plan.spec ->
   Lang.test ->
   result * result option
 (** Run a test under the sanitizer, plus its stripped variant when it
     has ordering devices.  Default 50 trials. *)
 
 val cross_check :
-  ?cfg:Armb_cpu.Config.t -> ?trials:int -> ?seed:int -> unit -> check_row list * bool
+  ?cfg:Armb_cpu.Config.t ->
+  ?trials:int ->
+  ?seed:int ->
+  ?fault:Armb_fault.Plan.spec ->
+  unit ->
+  check_row list * bool
 (** Apply {!check_test} to the whole {!Catalogue} and judge each row;
     the boolean is the conjunction. *)
 

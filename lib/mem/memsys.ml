@@ -22,10 +22,12 @@ type counters = {
 }
 
 module Int_table = Armb_sim.Int_table
+module Injector = Armb_fault.Injector
 
 type t = {
   topo : Topology.t;
   lat : Latency.t;
+  inj : Injector.t option;
   lines : line Int_table.t;
   values : int64 Int_table.t;
   mutable c_hits : int;
@@ -46,10 +48,11 @@ let new_line _idx =
     watchers = [];
   }
 
-let create ~topo ~lat =
+let create ?inj ~topo ~lat () =
   {
     topo;
     lat;
+    inj;
     lines = Int_table.create ~capacity:64 (new_line 0);
     values = Int_table.create ~capacity:64 0L;
     c_hits = 0;
@@ -61,6 +64,15 @@ let create ~topo ~lat =
 
 let topology t = t.topo
 let latencies t = t.lat
+let injector t = t.inj
+
+(* Fault-injection hooks: pure extra delay, zero when no injector is
+   wired (the faults-off path must stay bit-identical to the seed
+   kernel — the golden digests pin it). *)
+let[@inline] jitter_dram t = match t.inj with None -> 0 | Some i -> Injector.dram_jitter i
+
+let[@inline] delay_snoop t ~rank =
+  match t.inj with None -> 0 | Some i -> Injector.snoop_delay i ~rank
 
 let line_of addr = addr lsr 6
 
@@ -101,7 +113,7 @@ let read t ~now ~core ~addr =
   end
   else if l.owner >= 0 && l.owner <> core then begin
     let r = Topology.distance_rank t.topo core l.owner in
-    let xfer = Latency.transfer t.lat (Topology.distance_of_rank r) in
+    let xfer = Latency.transfer t.lat (Topology.distance_of_rank r) + delay_snoop t ~rank:r in
     t.c_transfers <- t.c_transfers + 1;
     let cross = r = 3 in
     if cross then t.c_cross <- t.c_cross + 1;
@@ -125,7 +137,9 @@ let read t ~now ~core ~addr =
       else if l.sharers land Topology.node_mask t.topo core <> 0 then 2
       else 3
     in
-    let xfer = Latency.transfer t.lat (Topology.distance_of_rank best) in
+    let xfer =
+      Latency.transfer t.lat (Topology.distance_of_rank best) + delay_snoop t ~rank:best
+    in
     t.c_transfers <- t.c_transfers + 1;
     let cross = best = 3 in
     if cross then t.c_cross <- t.c_cross + 1;
@@ -140,7 +154,7 @@ let read t ~now ~core ~addr =
   else begin
     t.c_dram <- t.c_dram + 1;
     l.sharers <- bit core;
-    let latency = max t.lat.dram (l.ready_at - now) in
+    let latency = max (t.lat.dram + jitter_dram t) (l.ready_at - now) in
     l.ready_at <- now + latency;
     { latency; cross_node = false; hit = false }
   end
@@ -157,11 +171,13 @@ let write_latency t ~core l =
         (t.lat.l1_hit, false, true)
       else begin
         t.c_dram <- t.c_dram + 1;
-        (t.lat.dram, false, false)
+        (t.lat.dram + jitter_dram t, false, false)
       end
     else begin
       let r = worst_rank t core others in
-      let cycles = Latency.transfer t.lat (Topology.distance_of_rank r) in
+      let cycles =
+        Latency.transfer t.lat (Topology.distance_of_rank r) + delay_snoop t ~rank:r
+      in
       t.c_transfers <- t.c_transfers + 1;
       t.c_inval <- t.c_inval + popcount others;
       let cross = r = 3 in

@@ -19,10 +19,20 @@ type access = {
   hit : bool;  (** satisfied in the local L1 *)
 }
 
-val create : topo:Topology.t -> lat:Latency.t -> t
+val create : ?inj:Armb_fault.Injector.t -> topo:Topology.t -> lat:Latency.t -> unit -> t
+(** [inj] wires a fault injector into the directory and interconnect
+    paths: cache-to-cache transfers and invalidation snoops may be
+    delayed (scaled by hop distance) and DRAM fills may jitter.  All
+    perturbations are pure extra latency — directory state transitions
+    and committed values are untouched, so coherence safety is
+    preserved by construction.  Without [inj] the timing is
+    bit-identical to the unfaulted kernel. *)
 
 val topology : t -> Topology.t
 val latencies : t -> Latency.t
+
+val injector : t -> Armb_fault.Injector.t option
+(** The wired fault injector, if any (for post-run accounting). *)
 
 val line_of : int -> int
 (** Cache-line index of a byte address (64-byte lines). *)

@@ -13,7 +13,7 @@ type sample = {
   events_per_sec : float;
 }
 
-type results = { mode : string; samples : sample list }
+type results = { mode : string; fault : string; samples : sample list }
 
 (* ---------- workloads ---------- *)
 
@@ -54,20 +54,20 @@ let fig3_slice ~iters ~nop_counts () =
 (* The whole litmus catalogue on the timing simulator: many short
    machines, so per-trial setup cost (allocating the memory system and
    event queue) weighs as much as the per-op path. *)
-let litmus_catalogue ~trials () =
+let litmus_catalogue ?fault ~trials () =
   List.fold_left
     (fun acc t ->
-      let r = Armb_litmus.Sim_runner.run ~trials ~seed:42 t in
+      let r = Armb_litmus.Sim_runner.run ?fault ~trials ~seed:42 t in
       acc + r.Armb_litmus.Sim_runner.events)
     0 Armb_litmus.Catalogue.all
 
 (* The Figure 6(a) SPSC ring with the best-legal barrier combination
    (DMB ld - DMB st): spin loops, line watches and cross-core line
    bouncing — the event queue's wakeup machinery. *)
-let fig6a_ring ~messages () =
+let fig6a_ring ?fault ~messages () =
   let cfg = P.kunpeng916 in
   let cross = Armb_mem.Topology.num_cores cfg.Armb_cpu.Config.topo / 2 in
-  let m = Machine.create cfg in
+  let m = Machine.create ?fault cfg in
   let prod_cnt = Machine.alloc_line m in
   let cons_cnt = Machine.alloc_line m in
   let slots = 16 in
@@ -96,8 +96,8 @@ let fig6a_ring ~messages () =
 
 (* One differential fuzz round: random litmus tests checked against the
    operational model — simulator trials interleaved with enumeration. *)
-let fuzz_round ~tests ~trials_per_test () =
-  let r = Armb_litmus.Fuzz.run ~tests ~trials_per_test ~seed:1234 () in
+let fuzz_round ?fault ~tests ~trials_per_test () =
+  let r = Armb_litmus.Fuzz.run ?fault ~tests ~trials_per_test ~seed:1234 () in
   r.Armb_litmus.Fuzz.events
 
 (* ---------- harness ---------- *)
@@ -109,21 +109,33 @@ let time f =
   let events_per_sec = if events > 0 && wall_s > 0. then float_of_int events /. wall_s else 0. in
   (events, wall_s, events_per_sec)
 
-let run ?(quick = false) ?(progress = fun _ -> ()) () =
+let run ?(quick = false) ?fault ?(progress = fun _ -> ()) () =
+  (* Record whether a fault plan perturbed the measurement: a perturbed
+     number must never be confused with a clean baseline.  The null plan
+     counts as faults-off (the machine drops it at creation anyway).
+     fig3-slice runs on the analytic abstracted model, outside the
+     machine and hence outside the injector's reach — it stays clean
+     even under a plan. *)
+  let fault =
+    match fault with
+    | Some (sp : Armb_fault.Plan.spec) when not (Armb_fault.Plan.is_null sp) -> Some sp
+    | Some _ | None -> None
+  in
+  let fault_name = match fault with Some sp -> sp.Armb_fault.Plan.name | None -> "none" in
   let workloads =
     if quick then
       [
         ("fig3-slice", fig3_slice ~iters:4000 ~nop_counts:[ 100; 700 ]);
-        ("litmus-catalogue", litmus_catalogue ~trials:800);
-        ("fig6a-ring", fig6a_ring ~messages:40000);
-        ("fuzz-round", fuzz_round ~tests:30 ~trials_per_test:120);
+        ("litmus-catalogue", litmus_catalogue ?fault ~trials:800);
+        ("fig6a-ring", fig6a_ring ?fault ~messages:40000);
+        ("fuzz-round", fuzz_round ?fault ~tests:30 ~trials_per_test:120);
       ]
     else
       [
         ("fig3-slice", fig3_slice ~iters:15000 ~nop_counts:[ 100; 300; 500; 700 ]);
-        ("litmus-catalogue", litmus_catalogue ~trials:2000);
-        ("fig6a-ring", fig6a_ring ~messages:100000);
-        ("fuzz-round", fuzz_round ~tests:60 ~trials_per_test:150);
+        ("litmus-catalogue", litmus_catalogue ?fault ~trials:2000);
+        ("fig6a-ring", fig6a_ring ?fault ~messages:100000);
+        ("fuzz-round", fuzz_round ?fault ~tests:60 ~trials_per_test:150);
       ]
   in
   let samples =
@@ -134,10 +146,11 @@ let run ?(quick = false) ?(progress = fun _ -> ()) () =
         { name; events; wall_s; events_per_sec })
       workloads
   in
-  { mode = (if quick then "quick" else "full"); samples }
+  { mode = (if quick then "quick" else "full"); fault = fault_name; samples }
 
 let pp ppf r =
-  Format.fprintf ppf "@[<v>kernel perf (%s mode)@," r.mode;
+  Format.fprintf ppf "@[<v>kernel perf (%s mode%s)@," r.mode
+    (if r.fault = "none" then "" else ", fault plan " ^ r.fault);
   List.iter
     (fun s ->
       Format.fprintf ppf "  %-18s %9d events  %8.3f s  %12.0f events/s@," s.name s.events
@@ -154,6 +167,7 @@ let to_json r =
   Buffer.add_string b "{\n";
   Buffer.add_string b "  \"schema\": \"armb-perf-v1\",\n";
   Buffer.add_string b (Printf.sprintf "  \"mode\": %S,\n" r.mode);
+  Buffer.add_string b (Printf.sprintf "  \"fault\": %S,\n" r.fault);
   Buffer.add_string b "  \"workloads\": [\n";
   List.iteri
     (fun i s ->
@@ -208,6 +222,8 @@ let load_json ~path =
      with End_of_file -> close_in ic);
     let lines = List.rev !lines in
     let mode = ref "" in
+    (* pre-fault files simply never set the key: they read as faults-off *)
+    let fault = ref "none" in
     let samples = ref [] in
     let cur_name = ref None and cur_events = ref None and cur_wall = ref None in
     let cur_eps = ref None in
@@ -224,6 +240,7 @@ let load_json ~path =
     List.iter
       (fun line ->
         (match field_value line "mode" with Some v -> mode := unquote v | None -> ());
+        (match field_value line "fault" with Some v -> fault := unquote v | None -> ());
         (match field_value line "name" with
         | Some v ->
           flush ();
@@ -242,7 +259,7 @@ let load_json ~path =
     flush ();
     match (!mode, !samples) with
     | "", [] -> None
-    | mode, samples -> Some { mode; samples = List.rev samples }
+    | mode, samples -> Some { mode; fault = !fault; samples = List.rev samples }
   end
 
 (* ---------- baseline comparison ---------- *)

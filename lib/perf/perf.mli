@@ -19,13 +19,18 @@ type sample = {
 
 type results = {
   mode : string;  (** "full" or "quick" *)
+  fault : string;  (** fault plan active during the run; "none" when off *)
   samples : sample list;
 }
 
-val run : ?quick:bool -> ?progress:(string -> unit) -> unit -> results
+val run :
+  ?quick:bool -> ?fault:Armb_fault.Plan.spec -> ?progress:(string -> unit) -> unit -> results
 (** Execute every workload.  [quick] shrinks iteration/trial counts
-    (~5x) for CI smoke use; [progress] receives one message per
-    workload as it starts. *)
+    (~5x) for CI smoke use; [fault] perturbs the machine-backed
+    workloads with the given plan and stamps the results with its name
+    so a perturbed measurement can never pass for a clean baseline (a
+    null plan counts as faults-off); [progress] receives one message
+    per workload as it starts. *)
 
 val pp : Format.formatter -> results -> unit
 

@@ -1,0 +1,58 @@
+module type INT = sig
+  type t
+
+  val of_int : int -> t
+  val equal : t -> t -> bool
+  val logor : t -> t -> t
+  val logand : t -> t -> t
+  val shift_left : t -> int -> t
+  val shift_right : t -> int -> t
+end
+
+module type S = sig
+  type t
+
+  val waiting : t
+  val handoff : t
+  val pack : ret:t -> completed:bool -> t
+  val unpack : t -> t * bool
+  val is_handoff : t -> bool
+end
+
+module Make (I : INT) = struct
+  type t = I.t
+
+  let waiting = I.of_int 0
+  let handoff = I.of_int 1
+  let completed_bit = I.of_int 2
+
+  let pack ~ret ~completed =
+    I.logor (I.shift_left ret 2) (I.of_int (if completed then 3 else 1))
+
+  let unpack v =
+    (I.shift_right v 2, I.equal (I.logand v completed_bit) completed_bit)
+
+  let is_handoff v = I.equal v handoff
+end
+
+module Over_int = Make (struct
+  type t = int
+
+  let of_int i = i
+  let equal = Int.equal
+  let logor = ( lor )
+  let logand = ( land )
+  let shift_left = ( lsl )
+  let shift_right = ( asr )
+end)
+
+module Over_int64 = Make (struct
+  type t = int64
+
+  let of_int = Int64.of_int
+  let equal = Int64.equal
+  let logor = Int64.logor
+  let logand = Int64.logand
+  let shift_left = Int64.shift_left
+  let shift_right = Int64.shift_right_logical
+end)

@@ -1,0 +1,56 @@
+(** Release-word payload protocol shared by the delegated-execution
+    combiners (DSM-Synch, FFWD).
+
+    A waiter parked on its node's release word can be woken for one of
+    two reasons, and the payload must carry a return value alongside:
+
+    {v
+      0              waiting (nothing released yet)
+      1              handoff: you are the combiner now
+      (ret << 2)|3   completed: your request ran, [ret] is the result
+    v}
+
+    Bit 0 distinguishes "released" from "waiting", bit 1 distinguishes
+    "completed" from "handoff" — so the same word can travel raw or
+    Pilot-encoded (where only {e changes} are observable and a zero
+    payload must still be representable).  Both the native combiner
+    ([Armb_runtime.Dsmsynch], over immediate [int]s) and the simulated
+    one ([Armb_sync.Dsmsynch], over [int64] machine words) speak exactly
+    this encoding, through the two instances below. *)
+
+module type INT = sig
+  type t
+
+  val of_int : int -> t
+  val equal : t -> t -> bool
+  val logor : t -> t -> t
+  val logand : t -> t -> t
+  val shift_left : t -> int -> t
+
+  val shift_right : t -> int -> t
+  (** The shift used to recover [ret]; instances keep their historical
+      choice (arithmetic for [int], logical for [int64]). *)
+end
+
+module type S = sig
+  type t
+
+  val waiting : t
+  val handoff : t
+
+  val pack : ret:t -> completed:bool -> t
+  (** [(ret << 2) | (completed ? 3 : 1)]. *)
+
+  val unpack : t -> t * bool
+  (** [(ret, completed)] of a released (non-waiting) payload. *)
+
+  val is_handoff : t -> bool
+end
+
+module Make (I : INT) : S with type t = I.t
+
+module Over_int : S with type t = int
+(** The native encoding (immediate OCaml [int]s). *)
+
+module Over_int64 : S with type t = int64
+(** The simulator encoding (64-bit machine words). *)

@@ -1,0 +1,5 @@
+let payload i = Int64.of_int ((i * 2654435761) land 0x3FFFFFFF)
+
+let slot_addr ~buf ~slots i = buf + (i mod slots * 64)
+
+let lane_addr ~buf lane = buf + (lane * 64)

@@ -1,0 +1,20 @@
+(** Shared helpers for the ring-buffer benchmarks.
+
+    Every SPSC ring variant (barrier-combination ring, Pilot ring and
+    its batched baseline) moves the same deterministic payload stream
+    and lays slots out one per cache line; keeping the generator and the
+    slot arithmetic here ensures the variants stay comparable — a
+    corruption check in one variant validates against the very words the
+    others move. *)
+
+val payload : int -> int64
+(** Payload of message [i]: a Knuth-hash of the index, truncated so it
+    survives the Pilot shuffle round-trip in both word widths. *)
+
+val slot_addr : buf:int -> slots:int -> int -> int
+(** Address of the 64-byte slot message [i] travels through
+    ([buf + (i mod slots) * 64]). *)
+
+val lane_addr : buf:int -> int -> int
+(** Address of cache line [lane] in a buffer of one-line lanes — for
+    rings that give each channel its own line. *)

@@ -1,0 +1,57 @@
+module type SUBSTRATE = sig
+  type ctx
+  type loc
+  type value
+
+  val succ : value -> value
+  val equal : value -> value -> bool
+  val odd : value -> bool
+  val read : ctx -> loc -> value
+  val write : ctx -> loc -> value -> unit
+  val read_payload : ctx -> loc array -> value array
+  val write_payload : ctx -> loc array -> value array -> unit
+  val enter_fence : ctx -> unit
+  val exit_fence : ctx -> unit
+  val pre_read_fence : ctx -> unit
+  val post_read_fence : ctx -> unit
+  val wait_writer : ctx -> loc -> value -> unit
+  val on_retry : ctx -> unit
+end
+
+module Make (S : SUBSTRATE) = struct
+  type t = { seq : S.loc; cells : S.loc array }
+
+  let write t ctx payload =
+    if Array.length payload <> Array.length t.cells then
+      invalid_arg "Seqlock.write: wrong payload arity";
+    let s = S.read ctx t.seq in
+    (* enter: odd sequence *)
+    S.write ctx t.seq (S.succ s);
+    S.enter_fence ctx;
+    S.write_payload ctx t.cells payload;
+    S.exit_fence ctx;
+    (* leave: even sequence *)
+    S.write ctx t.seq (S.succ (S.succ s))
+
+  let read t ctx =
+    let rec attempt () =
+      let s1 = S.read ctx t.seq in
+      if S.odd s1 then begin
+        (* writer in progress: wait for the sequence to move *)
+        S.wait_writer ctx t.seq s1;
+        attempt ()
+      end
+      else begin
+        S.pre_read_fence ctx;
+        let snapshot = S.read_payload ctx t.cells in
+        S.post_read_fence ctx;
+        let s2 = S.read ctx t.seq in
+        if S.equal s1 s2 then snapshot
+        else begin
+          S.on_retry ctx;
+          attempt ()
+        end
+      end
+    in
+    attempt ()
+end

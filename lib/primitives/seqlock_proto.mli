@@ -1,0 +1,65 @@
+(** The seqlock protocol skeleton, generic in the substrate it runs on.
+
+    Writer: bump the sequence word to odd, store the payload, bump it to
+    even.  Reader: sample the sequence, bail out (and wait) while a
+    writer is inside, snapshot the payload, and retry unless the
+    sequence is unchanged.  The protocol is identical on real hardware
+    and on the simulated machine; what differs is how a word is read or
+    written, which fences separate the phases, and what a reader does
+    while it waits.  {!SUBSTRATE} captures exactly those points, so the
+    simulated seqlock ([Armb_sync.Seqlock], words are simulated
+    addresses, fences are DMB instructions, waiting parks on a
+    cache-line watch) and the native one ([Armb_runtime.Seqlock], words
+    are [Atomic.t]s, fences are free under OCaml's SC atomics, waiting
+    is exponential backoff) share this one protocol body. *)
+
+module type SUBSTRATE = sig
+  type ctx
+  (** Per-operation execution context: the simulated core plus options,
+      or a native backoff state. *)
+
+  type loc
+  (** One shared word. *)
+
+  type value
+
+  val succ : value -> value
+  val equal : value -> value -> bool
+  val odd : value -> bool
+  val read : ctx -> loc -> value
+  val write : ctx -> loc -> value -> unit
+
+  val read_payload : ctx -> loc array -> value array
+  (** Snapshot every cell; the substrate chooses how loads overlap. *)
+
+  val write_payload : ctx -> loc array -> value array -> unit
+
+  val enter_fence : ctx -> unit
+  (** Orders the odd bump before the payload stores. *)
+
+  val exit_fence : ctx -> unit
+  (** Orders the payload stores before the even bump. *)
+
+  val pre_read_fence : ctx -> unit
+  (** Orders the first sequence read before the payload loads. *)
+
+  val post_read_fence : ctx -> unit
+  (** Orders the payload loads before the validating sequence read. *)
+
+  val wait_writer : ctx -> loc -> value -> unit
+  (** A writer is inside ([value] is the odd sequence just read); wait
+      until the sequence word plausibly changed. *)
+
+  val on_retry : ctx -> unit
+  (** Validation failed (a writer raced the snapshot). *)
+end
+
+module Make (S : SUBSTRATE) : sig
+  type t = { seq : S.loc; cells : S.loc array }
+
+  val write : t -> S.ctx -> S.value array -> unit
+  (** Raises [Invalid_argument] on wrong payload arity. *)
+
+  val read : t -> S.ctx -> S.value array
+  (** Loops until it obtains an untorn snapshot. *)
+end

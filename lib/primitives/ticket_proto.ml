@@ -1,0 +1,25 @@
+module type SUBSTRATE = sig
+  type ctx
+  type lock
+  type value
+
+  val succ : value -> value
+  val equal : value -> value -> bool
+  val take_ticket : ctx -> lock -> value
+  val read_serving : ctx -> lock -> value
+  val wait_serving : ctx -> lock -> value -> unit
+  val acquired_fence : ctx -> unit
+  val publish_serving : ctx -> lock -> value -> unit
+end
+
+module Make (S : SUBSTRATE) = struct
+  let acquire ctx lock =
+    let my = S.take_ticket ctx lock in
+    let serving = S.read_serving ctx lock in
+    if not (S.equal serving my) then S.wait_serving ctx lock my;
+    S.acquired_fence ctx
+
+  let release ctx lock =
+    let serving = S.read_serving ctx lock in
+    S.publish_serving ctx lock (S.succ serving)
+end

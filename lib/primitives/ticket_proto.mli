@@ -1,0 +1,39 @@
+(** The ticket-lock protocol skeleton, generic in the substrate.
+
+    Acquire: atomically take the next ticket, then wait until the
+    now-serving word reaches it (fast path: a single read when the lock
+    is free).  Release: advance now-serving by one.  The simulated lock
+    ([Armb_sync.Ticket_lock], fetch-add with acquire semantics, a
+    cache-line-watch spin and a trailing DMB ld; release publishes with
+    a configurable barrier — the paper's Figure 7 axis) and the native
+    lock ([Armb_runtime.Ticket_lock], OCaml SC atomics and exponential
+    backoff) both instantiate this body. *)
+
+module type SUBSTRATE = sig
+  type ctx
+  type lock
+  type value
+
+  val succ : value -> value
+  val equal : value -> value -> bool
+
+  val take_ticket : ctx -> lock -> value
+  (** Atomic fetch-and-increment of the next-ticket word. *)
+
+  val read_serving : ctx -> lock -> value
+
+  val wait_serving : ctx -> lock -> value -> unit
+  (** Spin until now-serving equals the given ticket. *)
+
+  val acquired_fence : ctx -> unit
+  (** Acquire ordering for the successful spin read. *)
+
+  val publish_serving : ctx -> lock -> value -> unit
+  (** Store the bumped now-serving word, with whatever release ordering
+      the substrate (or its configuration) prescribes. *)
+end
+
+module Make (S : SUBSTRATE) : sig
+  val acquire : S.ctx -> S.lock -> unit
+  val release : S.ctx -> S.lock -> unit
+end

@@ -1,9 +1,9 @@
-(* Release-word protocol per node:
-     0            waiting
-     1            handoff: you are the combiner
-     ret*4 + 3    completed, with the return value (plain mode)
-   In pilot mode the same payloads travel Pilot-encoded, so repeated
-   releases of the same node always change the word. *)
+(* Release-word payloads follow the shared delegation encoding
+   (Armb_primitives.Delegation): 0 waiting, 1 combiner handoff,
+   (ret<<2)|3 completed.  In pilot mode the same payloads travel
+   Pilot-encoded, so repeated releases of the same node always change
+   the word. *)
+module Delegation = Armb_primitives.Delegation.Over_int
 
 type node = {
   mutable req : (unit -> int) option;
@@ -43,10 +43,10 @@ let create ?(pilot = false) ?(combine_bound = 64) () =
   let boot = make_node pool in
   (* The bootstrap node is pre-released as "combiner handoff". *)
   (if pilot then
-     match Pilot_codec.encode boot.snd 1 with
+     match Pilot_codec.encode boot.snd Delegation.handoff with
      | Pilot_codec.Write_data d -> Atomic.set boot.release d
      | Pilot_codec.Toggle_flag -> assert false
-   else Atomic.set boot.release 1);
+   else Atomic.set boot.release Delegation.handoff);
   {
     id = Atomic.fetch_and_add next_lock_id 1;
     tail = Atomic.make boot;
@@ -55,10 +55,6 @@ let create ?(pilot = false) ?(combine_bound = 64) () =
     combine_count = Atomic.make 0;
     pool;
   }
-
-let pack_completed ret = (ret * 4) lor 3
-
-let is_handoff payload = payload = 1
 
 let release t node payload =
   if t.pilot then begin
@@ -129,18 +125,18 @@ let exec t f =
   Atomic.set cur.next (Some fresh);
   let payload = await t cur in
   let result =
-    if is_handoff payload then begin
+    if Delegation.is_handoff payload then begin
       (* We are the combiner: serve the chain starting at our own node. *)
       let my_ret = ref 0 in
       let tmp = ref cur and budget = ref t.combine_bound and looping = ref true in
       while !looping do
         match Atomic.get !tmp.next with
         | None ->
-          release t !tmp 1;
+          release t !tmp Delegation.handoff;
           looping := false
         | Some nxt when !budget = 0 ->
           ignore nxt;
-          release t !tmp 1;
+          release t !tmp Delegation.handoff;
           looping := false
         | Some nxt ->
           let g = match !tmp.req with Some g -> g | None -> fun () -> 0 in
@@ -150,13 +146,13 @@ let exec t f =
           if !tmp == cur then my_ret := r
           else begin
             Atomic.incr t.combine_count;
-            release t !tmp (pack_completed r)
+            release t !tmp (Delegation.pack ~ret:r ~completed:true)
           end;
           tmp := nxt
       done;
       !my_ret
     end
-    else payload asr 2
+    else fst (Delegation.unpack payload)
   in
   put_spare t cur;
   result

@@ -1,66 +1,11 @@
-type sender = {
-  s_pool : int array;
-  mutable s_cnt : int;
-  mutable s_old_data : int;
-}
+(* The native instance of the canonical Pilot codec: payloads are
+   immediate OCaml ints, so pool draws are truncated to 62 bits (the
+   same truncation Rng.int applies) to stay non-negative. *)
+include Armb_primitives.Pilot_word.Make (struct
+  type t = int
 
-type receiver = {
-  r_pool : int array;
-  mutable r_cnt : int;
-  mutable r_old_data : int;
-  mutable r_old_flag : int;
-}
-
-let make_pool ?(size = 64) ~seed () =
-  if size <= 0 then invalid_arg "Pilot_codec.make_pool";
-  (* SplitMix-style mixing, truncated to OCaml's 63-bit int. *)
-  let state = ref (Int64.of_int (seed lxor 0x9E37)) in
-  Array.init size (fun _ ->
-      state := Int64.add !state 0x9E3779B97F4A7C15L;
-      let z = !state in
-      let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-      let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-      Int64.to_int (Int64.shift_right_logical (Int64.logxor z (Int64.shift_right_logical z 31)) 2))
-
-let sender pool =
-  if Array.length pool = 0 then invalid_arg "Pilot_codec.sender";
-  { s_pool = pool; s_cnt = 0; s_old_data = 0 }
-
-let receiver pool =
-  if Array.length pool = 0 then invalid_arg "Pilot_codec.receiver";
-  { r_pool = pool; r_cnt = 0; r_old_data = 0; r_old_flag = 0 }
-
-type write_op = Write_data of int | Toggle_flag
-
-let encode s msg =
-  let h = s.s_pool.(s.s_cnt mod Array.length s.s_pool) in
-  s.s_cnt <- s.s_cnt + 1;
-  let shuffled = msg lxor h in
-  if shuffled = s.s_old_data then Toggle_flag
-  else begin
-    s.s_old_data <- shuffled;
-    Write_data shuffled
-  end
-
-let try_decode r ~data ~flag =
-  let fresh =
-    if data <> r.r_old_data then begin
-      r.r_old_data <- data;
-      true
-    end
-    else if flag <> r.r_old_flag then begin
-      r.r_old_flag <- flag;
-      true
-    end
-    else false
-  in
-  if not fresh then None
-  else begin
-    let h = r.r_pool.(r.r_cnt mod Array.length r.r_pool) in
-    r.r_cnt <- r.r_cnt + 1;
-    Some (r.r_old_data lxor h)
-  end
-
-let sent s = s.s_cnt
-
-let received r = r.r_cnt
+  let equal = Int.equal
+  let logxor = ( lxor )
+  let zero = 0
+  let of_pool v = Int64.to_int (Int64.shift_right_logical v 2)
+end)

@@ -1,34 +1,35 @@
-type t = { seq : int Atomic.t; cells : int Atomic.t array }
+(* Native instance of the shared seqlock protocol body
+   (Armb_primitives.Seqlock_proto): words are SC atomics (no explicit
+   fences needed), readers back off exponentially while a writer is
+   inside or after a torn snapshot. *)
+module Proto = Armb_primitives.Seqlock_proto.Make (struct
+  type ctx = Backoff.t
+  type loc = int Atomic.t
+  type value = int
+
+  let succ v = v + 1
+  let equal = Int.equal
+  let odd v = v land 1 = 1
+  let read _ l = Atomic.get l
+  let write _ l v = Atomic.set l v
+  let read_payload _ cells = Array.map Atomic.get cells
+  let write_payload _ cells payload = Array.iteri (fun i v -> Atomic.set cells.(i) v) payload
+  let enter_fence _ = ()
+  let exit_fence _ = ()
+  let pre_read_fence _ = ()
+  let post_read_fence _ = ()
+  let wait_writer b _ _ = Backoff.once b
+  let on_retry b = Backoff.once b
+end)
+
+type t = Proto.t
 
 let create ~words =
   if words <= 0 then invalid_arg "Seqlock.create";
-  { seq = Atomic.make 0; cells = Array.init words (fun _ -> Atomic.make 0) }
+  { Proto.seq = Atomic.make 0; cells = Array.init words (fun _ -> Atomic.make 0) }
 
-let write t payload =
-  if Array.length payload <> Array.length t.cells then
-    invalid_arg "Seqlock.write: wrong payload arity";
-  let s = Atomic.get t.seq in
-  Atomic.set t.seq (s + 1);
-  Array.iteri (fun i v -> Atomic.set t.cells.(i) v) payload;
-  Atomic.set t.seq (s + 2)
+let write t payload = Proto.write t (Backoff.create ()) payload
 
-let read t =
-  let b = Backoff.create () in
-  let rec attempt () =
-    let s1 = Atomic.get t.seq in
-    if s1 land 1 = 1 then begin
-      Backoff.once b;
-      attempt ()
-    end
-    else begin
-      let snapshot = Array.map Atomic.get t.cells in
-      if Atomic.get t.seq = s1 then snapshot
-      else begin
-        Backoff.once b;
-        attempt ()
-      end
-    end
-  in
-  attempt ()
+let read t = Proto.read t (Backoff.create ())
 
-let writes t = Atomic.get t.seq / 2
+let writes t = Atomic.get t.Proto.seq / 2

@@ -17,14 +17,14 @@ type critical = Core.t -> client:int -> int64 -> int64
    A node's request is valid once its next pointer is non-zero: the
    announcer writes req, a DMB st, then next.
 
-   Packed pilot payload: (ret << 2) | (completed ? 2 : 0) | 1. *)
+   Release payloads use the shared delegation encoding
+   (Armb_primitives.Delegation): (ret << 2) | (completed ? 3 : 1). *)
 
-let pack ~ret ~completed =
-  Int64.logor (Int64.shift_left ret 2) (if completed then 3L else 1L)
+module Delegation = Armb_primitives.Delegation.Over_int64
 
-let unpack v =
-  let completed = Int64.logand v 2L = 2L in
-  (Int64.shift_right_logical v 2, completed)
+let pack = Delegation.pack
+
+let unpack = Delegation.unpack
 
 type t = {
   parties : int;

@@ -11,6 +11,7 @@ type spec = {
   messages : int;
   produce_nops : int;
   consume_nops : int;
+  fault : Armb_fault.Plan.spec option;
 }
 
 let default_spec cfg ~cores =
@@ -23,6 +24,7 @@ let default_spec cfg ~cores =
     messages = 4000;
     produce_nops = 20;
     consume_nops = 2;
+    fault = None;
   }
 
 type result = {
@@ -32,13 +34,13 @@ type result = {
   lines_touched : Armb_mem.Memsys.counters;
 }
 
-let payload i = Int64.of_int ((i * 2654435761) land 0x3FFFFFFF)
+let payload = Armb_primitives.Message.payload
 
 (* Slot layout: data word at +0, fallback flag word at +8 — same cache
    line, so a delivery moves one line. *)
-let data_addr buf slot = buf + (slot * 64)
+let data_addr buf slot = Armb_primitives.Message.lane_addr ~buf slot
 
-let flag_addr buf slot = buf + (slot * 64) + 8
+let flag_addr buf slot = Armb_primitives.Message.lane_addr ~buf slot + 8
 
 (* The producer still guards buffer reuse with the availability barrier
    (Algorithm 2 line 3 survives Pilot, §4.4). *)
@@ -115,7 +117,7 @@ let consumer spec ~cons_cnt ~buf ~receivers ~words ~msg_of ~check (c : Core.t) =
 let run_words ?(seed = 7) ?(check = true) ~words spec =
   if words <= 0 || words > 8 then invalid_arg "Pilot_ring: words must be in 1..8";
   if spec.slots <= 0 || spec.messages <= 0 then invalid_arg "Pilot_ring: bad spec";
-  let m = Machine.create spec.cfg in
+  let m = Machine.create ?fault:spec.fault spec.cfg in
   let cons_cnt = Machine.alloc_line m in
   (* one line per slice so each Pilot channel has its own line *)
   let buf = Machine.alloc_lines m (spec.slots * words) in
@@ -143,7 +145,7 @@ let run_batched ?seed ?check ~words spec = run_words ?seed ?check ~words spec
 
 let run_batched_baseline ?(check = true) ~words spec =
   if words <= 0 || words > 8 then invalid_arg "Pilot_ring: words must be in 1..8";
-  let m = Machine.create spec.cfg in
+  let m = Machine.create ?fault:spec.fault spec.cfg in
   let prod_cnt = Machine.alloc_line m in
   let cons_cnt = Machine.alloc_line m in
   let buf = Machine.alloc_lines m (spec.slots * words) in

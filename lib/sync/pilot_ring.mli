@@ -21,6 +21,9 @@ type spec = {
   messages : int;
   produce_nops : int;
   consume_nops : int;
+  fault : Armb_fault.Plan.spec option;
+      (** optional fault-injection plan armed on the run's machine
+          (degradation studies); [None] is the exact unfaulted kernel *)
 }
 
 val default_spec : Armb_cpu.Config.t -> cores:int * int -> spec

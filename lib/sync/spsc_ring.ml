@@ -66,6 +66,7 @@ type spec = {
   produce_nops : int;
   consume_nops : int;
   barriers : barriers;
+  fault : Armb_fault.Plan.spec option;
 }
 
 let default_spec cfg ~cores =
@@ -79,6 +80,7 @@ let default_spec cfg ~cores =
     produce_nops = 20;
     consume_nops = 2;
     barriers = combo "DMB ld - DMB st";
+    fault = None;
   }
 
 type result = {
@@ -87,7 +89,7 @@ type result = {
   lines_touched : Armb_mem.Memsys.counters;
 }
 
-let payload i = Int64.of_int ((i * 2654435761) land 0x3FFFFFFF)
+let payload = Armb_primitives.Message.payload
 
 (* Apply the line-3 ordering right after the availability load. *)
 let apply_avail (c : Core.t) approach ~cons_cnt =
@@ -110,7 +112,7 @@ let producer spec ~prod_cnt ~cons_cnt ~buf (c : Core.t) =
     apply_avail c spec.barriers.avail ~cons_cnt;
     (* line 4: produce the message into the shared slot (usually an RMR). *)
     Core.compute c spec.produce_nops;
-    let slot = buf + (i mod spec.slots * 64) in
+    let slot = Armb_primitives.Message.slot_addr ~buf ~slots:spec.slots i in
     (match spec.barriers.publish with
     | Ordering.Stlr_release ->
       Core.store c slot (payload i);
@@ -142,7 +144,8 @@ let consumer spec ~prod_cnt ~cons_cnt ~buf ~check (c : Core.t) =
     let last = min avail spec.messages in
     (* issue all slot loads of the batch, then await them in order *)
     let toks =
-      List.init (last - i) (fun k -> (i + k, Core.load c (buf + ((i + k) mod spec.slots * 64))))
+      List.init (last - i) (fun k ->
+          (i + k, Core.load c (Armb_primitives.Message.slot_addr ~buf ~slots:spec.slots (i + k))))
     in
     List.iter
       (fun (j, tok) ->
@@ -159,7 +162,7 @@ let consumer spec ~prod_cnt ~cons_cnt ~buf ~check (c : Core.t) =
 
 let run_gen spec ~check =
   if spec.slots <= 0 || spec.messages <= 0 then invalid_arg "Spsc_ring: bad spec";
-  let m = Machine.create spec.cfg in
+  let m = Machine.create ?fault:spec.fault spec.cfg in
   let prod_cnt = Machine.alloc_line m in
   let cons_cnt = Machine.alloc_line m in
   let buf = Machine.alloc_lines m spec.slots in

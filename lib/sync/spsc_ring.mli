@@ -39,6 +39,9 @@ type spec = {
   produce_nops : int;  (** cost of [produceMsg()] *)
   consume_nops : int;
   barriers : barriers;
+  fault : Armb_fault.Plan.spec option;
+      (** optional fault-injection plan armed on the run's machine
+          (degradation studies); [None] is the exact unfaulted kernel *)
 }
 
 val default_spec : Armb_cpu.Config.t -> cores:int * int -> spec

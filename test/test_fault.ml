@@ -1,0 +1,172 @@
+(* Fault-injection subsystem tests: plan construction and clamping,
+   injector determinism (same plan -> same event digest), the faults-off
+   null-plan fast path, perturbed litmus legality (no outcome outside
+   the WMM-allowed set, sanitizer-clean fenced tests) across several
+   plan seeds, and perturbed differential fuzzing. *)
+
+module Plan = Armb_fault.Plan
+module Injector = Armb_fault.Injector
+module Core = Armb_cpu.Core
+module Machine = Armb_cpu.Machine
+module Lang = Armb_litmus.Lang
+module Cat = Armb_litmus.Catalogue
+module Sim = Armb_litmus.Sim_runner
+module Perturb = Armb_litmus.Perturb
+
+let check = Alcotest.check
+
+(* ---------- Plan ---------- *)
+
+let test_plan_intensity () =
+  check Alcotest.bool "null plan is null" true (Plan.is_null Plan.none);
+  check Alcotest.bool "zero intensity is null" true (Plan.is_null (Plan.of_intensity 0.));
+  check Alcotest.bool "full intensity is not null" false (Plan.is_null (Plan.of_intensity 1.));
+  let p = Plan.of_intensity 2.5 in
+  let q = Plan.of_intensity 1.0 in
+  check (Alcotest.float 1e-9) "intensity clamps high" q.Plan.barrier_nack_prob
+    p.Plan.barrier_nack_prob;
+  let s = Plan.scale (Plan.of_intensity 1.0) 0.5 in
+  check Alcotest.bool "scaled plan still valid" true (s.Plan.snoop_delay_prob <= 1.0);
+  check Alcotest.bool "with_seed changes only the seed" true
+    (Plan.with_seed p 7 = { p with Plan.seed = 7 })
+
+let test_plan_validate () =
+  Alcotest.check_raises "negative probability rejected"
+    (Invalid_argument "Fault.Plan: barrier_nack_prob out of [0,1]") (fun () ->
+      Plan.validate { Plan.none with Plan.barrier_nack_prob = -0.1 })
+
+(* ---------- Injector determinism ---------- *)
+
+let drain spec n =
+  let i = Injector.create spec in
+  for k = 1 to n do
+    ignore (Injector.dram_jitter i);
+    ignore (Injector.snoop_delay i ~rank:(1 + (k mod 3)));
+    ignore (Injector.barrier_delay i);
+    ignore (Injector.stall i)
+  done;
+  (Injector.digest i, Injector.counters i)
+
+let test_injector_determinism () =
+  let spec = Plan.of_intensity ~seed:99 0.8 in
+  let d1, c1 = drain spec 500 in
+  let d2, c2 = drain spec 500 in
+  check Alcotest.bool "same plan, same digest" true (Int64.equal d1 d2);
+  check Alcotest.bool "same plan, same counters" true (c1 = c2);
+  let d3, _ = drain (Plan.with_seed spec 100) 500 in
+  check Alcotest.bool "different seed, different digest" false (Int64.equal d1 d3);
+  check Alcotest.bool "some fault fired at 0.8 intensity" true (c1.Injector.faults > 0);
+  check Alcotest.bool "delay cycles accounted" true (c1.Injector.delay_cycles > 0)
+
+let test_injector_null_draws_nothing () =
+  (* Disabled sites must not consume RNG: a null plan's digest folds
+     only zeros, and the digest is a pure function of the query count. *)
+  let d1, c1 = drain Plan.none 100 in
+  let d2, _ = drain (Plan.with_seed Plan.none 12345) 100 in
+  check Alcotest.bool "null plan digest seed-independent" true (Int64.equal d1 d2);
+  check Alcotest.int "null plan injects nothing" 0 c1.Injector.faults;
+  check Alcotest.int "null plan adds no delay" 0 c1.Injector.delay_cycles
+
+(* ---------- Machine wiring ---------- *)
+
+let elapsed_mp ?fault () =
+  let m = Machine.create ?fault Armb_platform.Platform.kunpeng916 in
+  let data = Machine.alloc_line m in
+  let flag = Machine.alloc_line m in
+  Machine.spawn m ~core:0 (fun c ->
+      Core.store c data 23L;
+      Core.barrier c (Armb_cpu.Barrier.Dmb St);
+      Core.store c flag 1L);
+  Machine.spawn m ~core:28 (fun c ->
+      ignore (Core.spin_until c flag (fun v -> Int64.equal v 1L));
+      let d = Core.await c (Core.load c data) in
+      assert (Int64.equal d 23L));
+  Machine.run_exn m;
+  (Machine.elapsed m, Machine.injector m)
+
+let test_machine_null_plan_identity () =
+  let base, inj0 = elapsed_mp () in
+  let off, inj1 = elapsed_mp ~fault:Plan.none () in
+  check Alcotest.bool "null plan arms no injector" true (inj0 = None && inj1 = None);
+  check Alcotest.int "null plan is cycle-identical" base off
+
+let test_machine_fault_replay () =
+  let spec = Plan.of_intensity ~seed:5 1.0 in
+  let e1, i1 = elapsed_mp ~fault:spec () in
+  let e2, i2 = elapsed_mp ~fault:spec () in
+  let d inj = Injector.digest (Option.get inj) in
+  check Alcotest.bool "injector armed" true (i1 <> None);
+  check Alcotest.int "same plan, same makespan" e1 e2;
+  check Alcotest.bool "same plan, same event digest" true (Int64.equal (d i1) (d i2));
+  let base, _ = elapsed_mp () in
+  check Alcotest.bool "full-intensity plan perturbs timing" true (e1 > base)
+
+(* ---------- Perturbed litmus sweep ---------- *)
+
+let test_sim_runner_digest_replay () =
+  let t = List.find (fun (t : Lang.test) -> t.Lang.name = "MP") Cat.all in
+  let fault = Plan.of_intensity ~seed:3 0.7 in
+  let r1 = Sim.run ~trials:30 ~seed:7 ~fault t in
+  let r2 = Sim.run ~trials:30 ~seed:7 ~fault t in
+  check Alcotest.bool "perturbed run replays bit-identically" true
+    (Int64.equal r1.Sim.fault_digest r2.Sim.fault_digest
+    && r1.Sim.outcomes = r2.Sim.outcomes);
+  check Alcotest.bool "faults actually injected" true (r1.Sim.fault_delay > 0);
+  let r0 = Sim.run ~trials:30 ~seed:7 t in
+  check Alcotest.bool "faults-off digest is zero" true (Int64.equal r0.Sim.fault_digest 0L)
+
+let test_catalogue_under_perturbation () =
+  (* The acceptance sweep, at soak scale: three plan seeds, full
+     catalogue, no illegal outcome, no sanitizer finding on any
+     fenced-to-forbidden test. *)
+  let s =
+    Perturb.sweep ~trials:25 ~intensities:[ 0.5; 1.0 ] ~plan_seeds:[ 1; 2; 3 ] ()
+  in
+  List.iter
+    (fun (r : Perturb.row) ->
+      check (Alcotest.list Alcotest.string)
+        (r.Perturb.test_name ^ " stays within the WMM-allowed set")
+        [] r.Perturb.illegal;
+      if r.Perturb.forbidden then
+        check Alcotest.int
+          (r.Perturb.test_name ^ " stays sanitizer-clean under perturbation")
+          0 r.Perturb.findings)
+    s.Perturb.results;
+  check Alcotest.bool "sweep verdict" true s.Perturb.ok;
+  check Alcotest.bool "perturbation measurably reshapes outcome timing" true
+    (List.exists (fun (r : Perturb.row) -> r.Perturb.drift > 0.) s.Perturb.results)
+
+let test_fuzz_under_perturbation () =
+  let fault = Plan.of_intensity ~seed:11 0.9 in
+  let r = Armb_litmus.Fuzz.run ~tests:8 ~trials_per_test:25 ~seed:77 ~fault () in
+  check Alcotest.int "no WMM violation under perturbed fuzzing" 0 (List.length r.Armb_litmus.Fuzz.violations)
+
+let () =
+  Alcotest.run "armb_fault"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "intensity ramp and clamping" `Quick test_plan_intensity;
+          Alcotest.test_case "validation" `Quick test_plan_validate;
+        ] );
+      ( "injector",
+        [
+          Alcotest.test_case "deterministic digest" `Quick test_injector_determinism;
+          Alcotest.test_case "null plan draws nothing" `Quick
+            test_injector_null_draws_nothing;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "null plan identity" `Quick test_machine_null_plan_identity;
+          Alcotest.test_case "fault replay" `Quick test_machine_fault_replay;
+        ] );
+      ( "perturbation",
+        [
+          Alcotest.test_case "sim-runner digest replay" `Quick
+            test_sim_runner_digest_replay;
+          Alcotest.test_case "catalogue legality under faults" `Slow
+            test_catalogue_under_perturbation;
+          Alcotest.test_case "differential fuzz under faults" `Slow
+            test_fuzz_under_perturbation;
+        ] );
+    ]

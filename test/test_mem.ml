@@ -21,7 +21,7 @@ let lat : Latency.t =
 
 let topo2x2x4 () = Topology.make ~nodes:2 ~clusters_per_node:2 ~cores_per_cluster:4
 
-let mk () = Memsys.create ~topo:(topo2x2x4 ()) ~lat
+let mk () = Memsys.create ~topo:(topo2x2x4 ()) ~lat ()
 
 (* ---------- Topology ---------- *)
 

@@ -236,7 +236,7 @@ let check_access ~op ~step (a : Memsys.access) (r : Ref.access) =
 let run_trace ~topo ~lat ~seed ~steps =
   let rng = Rng.create seed in
   let ncores = Topology.num_cores topo in
-  let sys = Memsys.create ~topo ~lat in
+  let sys = Memsys.create ~topo ~lat () in
   let rf = Ref.create ~topo ~lat in
   (* 12 lines, with a couple of distinct words per line so value storage
      and line state interact. *)
