@@ -458,6 +458,110 @@ let perturb_cmd =
              legality plus the message-passing ring's degradation curve (Pilot included).")
     Term.(const run $ run_config ~trials_default:40 () $ intensities $ messages $ out)
 
+(* ---------- fix ---------- *)
+
+let fix_cmd =
+  let module Fix = Armb_synth.Fix in
+  let module Report = Armb_synth.Report in
+  let module Soak = Armb_synth.Soak in
+  let test_name =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"NAME" ~doc:"Litmus test to repair (catalogue name).")
+  in
+  let all =
+    Arg.(value & flag
+         & info [ "all" ] ~doc:"Strip-and-resynthesize every eligible catalogue test.")
+  in
+  let strip =
+    Arg.(value & flag
+         & info [ "strip" ]
+             ~doc:"Round trip: strip NAME of its ordering devices first, then repair and \
+                   compare the winner's simulated cost against the original.")
+  in
+  let soak =
+    Arg.(value & opt int 0
+         & info [ "soak" ] ~docv:"N"
+             ~doc:"Fuzz-repair soak: generate N random tests, strip, repair, re-verify \
+                   (0 disables).")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of text/Markdown.") in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Also write the report to FILE.")
+  in
+  let max_edits =
+    Arg.(value & opt int 3
+         & info [ "max-edits" ] ~docv:"N" ~doc:"Largest edit set the search considers.")
+  in
+  let budget =
+    Arg.(value & opt int 4000
+         & info [ "budget" ] ~docv:"N" ~doc:"Oracle-call budget per search.")
+  in
+  let run (rc : RC.t) test_name all strip soak json out max_edits budget =
+    let trials = rc.trials and seed = rc.seed in
+    let emit text =
+      print_string text;
+      if text <> "" && text.[String.length text - 1] <> '\n' then print_newline ();
+      match out with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+    in
+    if soak > 0 then begin
+      let r = Soak.run ~tests:soak ~seed ~max_edits:(min max_edits 2) ~budget () in
+      Format.printf "%a@." Soak.pp_report r;
+      if not (Soak.ok r) then exit 1
+    end
+    else if all then begin
+      let rts = Fix.catalogue_round_trips ~max_edits ~budget ~trials ~seed () in
+      emit (if json then Report.round_trips_json rts else Report.round_trips_markdown rts);
+      if List.exists (fun (rt : Fix.round_trip) -> not rt.ok) rts then exit 1
+    end
+    else
+      match test_name with
+      | None ->
+        Printf.eprintf "fix: give a test NAME, or --all, or --soak N\n";
+        exit 2
+      | Some n -> (
+        match Fix.find_test n with
+        | None ->
+          Printf.eprintf "unknown test %S; available: %s\n" n
+            (String.concat ", "
+               (List.map (fun (t : Armb_litmus.Lang.test) -> t.name) Armb_litmus.Catalogue.all));
+          exit 1
+        | Some t ->
+          if strip then (
+            match Fix.strip_round_trip ~max_edits ~budget ~trials ~seed t with
+            | None ->
+              Printf.eprintf
+                "%s is not eligible for a strip round trip (weak outcome expected, or \
+                 nothing strippable)\n"
+                t.name;
+              exit 1
+            | Some rt ->
+              emit
+                (if json then Report.round_trips_json [ rt ]
+                 else Format.asprintf "%a@." Report.pp_round_trip rt);
+              if not rt.ok then exit 1)
+          else begin
+            let o = Fix.fix ~max_edits ~budget ~trials ~seed t in
+            emit
+              (if json then Report.outcome_json o
+               else Format.asprintf "%a@." Report.pp_outcome o);
+            if (not o.already_sound) && o.repairs = [] then exit 1
+          end)
+  in
+  Cmd.v
+    (Cmd.info "fix"
+       ~doc:"Synthesize minimal-cost ordering repairs: irredundant sufficient fence/\
+             acquire-release/dependency edit sets (plus the Pilot single-word rewrite \
+             for MP-shaped tests), costed per platform on the timing simulator.")
+    Term.(const run $ run_config ~trials_default:60 () $ test_name $ all $ strip $ soak
+          $ json $ out $ max_edits $ budget)
+
 (* ---------- trace ---------- *)
 
 let trace_cmd =
@@ -465,7 +569,59 @@ let trace_cmd =
     Arg.(value & opt string "armb-trace.json" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (Chrome trace-event JSON).")
   in
   let messages = Arg.(value & opt int 200 & info [ "messages" ] ~docv:"N" ~doc:"Ring messages to trace.") in
-  let run (rc : RC.t) out messages =
+  let test_name =
+    Arg.(value & opt (some string) None
+         & info [ "test" ] ~docv:"NAME"
+             ~doc:"Trace one simulator trial of a catalogue litmus test instead of the ring.")
+  in
+  let fixed =
+    Arg.(value & flag
+         & info [ "fixed" ]
+             ~doc:"With $(b,--test): synthesize a repair first (armb fix) and trace this \
+                   platform's winner instead of the test as written.")
+  in
+  let run_litmus (rc : RC.t) out test_name fixed =
+    match Armb_synth.Fix.find_test test_name with
+    | None ->
+      Printf.eprintf "unknown test %S; available: %s\n" test_name
+        (String.concat ", "
+           (List.map (fun (t : Armb_litmus.Lang.test) -> t.name) Armb_litmus.Catalogue.all));
+      exit 1
+    | Some t ->
+      let t =
+        if not fixed then t
+        else begin
+          let o = Armb_synth.Fix.fix ~trials:rc.trials ~seed:rc.seed t in
+          if o.already_sound then begin
+            Printf.printf "%s is already sound; tracing it as written\n" t.name;
+            t
+          end
+          else
+            match List.assoc_opt rc.cfg.Armb_cpu.Config.name o.winners with
+            | Some (r : Armb_synth.Fix.repair) ->
+              Printf.printf "tracing winner on %s: %s\n" rc.cfg.Armb_cpu.Config.name r.label;
+              r.test
+            | None ->
+              Printf.eprintf "no repair found for %s\n" t.name;
+              exit 1
+        end
+      in
+      let tr = Armb_cpu.Trace.create () in
+      let r =
+        Armb_litmus.Sim_runner.run ~cfg:rc.cfg ~trials:1 ~seed:rc.seed
+          ~tracer:(Armb_cpu.Trace.emit tr) t
+      in
+      Armb_cpu.Trace.write_file tr out;
+      Printf.printf "wrote %d spans (%d dropped) covering %d cycles of %s to %s\n"
+        (List.length (Armb_cpu.Trace.spans tr))
+        (Armb_cpu.Trace.dropped tr) r.Armb_litmus.Sim_runner.cycles t.name out;
+      print_endline "open it at chrome://tracing or https://ui.perfetto.dev"
+  in
+  let run (rc : RC.t) out messages test_name fixed =
+    match test_name with
+    | Some n -> run_litmus rc out n fixed
+    | None ->
+    ignore fixed;
     let cfg = rc.cfg in
     let tr = Armb_cpu.Trace.create () in
     let spec =
@@ -502,8 +658,11 @@ let trace_cmd =
     print_endline "open it at chrome://tracing or https://ui.perfetto.dev"
   in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Trace a producer-consumer run and export Chrome trace-event JSON.")
-    Term.(const run $ run_config () $ out $ messages)
+    (Cmd.info "trace"
+       ~doc:"Trace a producer-consumer run — or, with $(b,--test), one simulator trial \
+             of a litmus test (optionally after repair) — and export Chrome trace-event \
+             JSON.")
+    Term.(const run $ run_config () $ out $ messages $ test_name $ fixed)
 
 let () =
   let doc = "ARM barrier characterization and optimization toolkit (PPoPP'20 reproduction)" in
@@ -518,6 +677,7 @@ let () =
             advise_cmd;
             litmus_cmd;
             check_cmd;
+            fix_cmd;
             ring_cmd;
             report_cmd;
             fuzz_cmd;

@@ -124,7 +124,11 @@ let record t (e : Observe.event) =
         Bitset.union c.acq_set c.loads_cl
       | Barrier.Dmb Barrier.St | Barrier.Dsb Barrier.St ->
         Bitset.union c.st_set c.stores_cl
-      | Barrier.Isb -> ());
+      (* ISB only appears in litmus programs as the ctrl+ISB idiom (a
+         branch on a loaded value then ISB), and the timing model's
+         pipeline refetch waits for prior loads to retire: credit it
+         with DMB ld's force — prior loads ordered before everything. *)
+      | Barrier.Isb -> Bitset.union c.acq_set c.loads_cl);
       push c
         {
           seq;

@@ -50,7 +50,9 @@ let mp_addr_dep =
     name = "MP+dmb.st+addr";
     description =
       "MP with DMB st in the producer and a (bogus) address dependency from the flag \
-       read to the data read: forbidden, with no consumer barrier.";
+       read to the data read: forbidden, with no consumer barrier. (The ctrl+ISB \
+       alternative Table 3 ranks next to it is first-class too: fence F_isb, no \
+       longer approximated by this dependency.)";
     threads =
       [
         [ st "data" 23L; fence F_dmb_st; st "flag" 1L ];
@@ -118,8 +120,8 @@ let wrc =
     name = "WRC+addrs";
     description =
       "Write-to-read causality: T0 writes x; T1 reads x then writes y (dependency); T2 \
-       reads y then x (dependency). T2 seeing y=1 but x=0 is forbidden on \
-       multi-copy-atomic ARMv8.";
+       reads y then x (dependency — a ctrl+ISB fence F_isb would order the reads \
+       equally). T2 seeing y=1 but x=0 is forbidden on multi-copy-atomic ARMv8.";
     init = [ ("x", 0L); ("y", 0L) ];
     threads =
       [

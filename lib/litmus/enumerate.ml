@@ -22,12 +22,14 @@ let fence_orders model f a b =
     match f with
     | Lang.F_dmb_full | Lang.F_dsb -> true
     | Lang.F_dmb_st -> a = C_store && b = C_store
-    | Lang.F_dmb_ld -> a = C_load)
+    | Lang.F_dmb_ld | Lang.F_isb -> a = C_load)
   | Wmm -> (
     match f with
     | Lang.F_dmb_full | Lang.F_dsb -> true
     | Lang.F_dmb_st -> a = C_store && b = C_store
-    | Lang.F_dmb_ld -> a = C_load)
+    (* ctrl+ISB has DMB ld's ordering force: every prior load performs
+       before anything later; stores pass it freely. *)
+    | Lang.F_dmb_ld | Lang.F_isb -> a = C_load)
 
 (* Must instruction [j] perform before instruction [i] (j < i in
    program order)?  [prog] is the thread's instruction array. *)

@@ -3,7 +3,7 @@ module Rng = Armb_sim.Rng
 (* Random instruction streams over a small vocabulary.  Register names
    are unique per thread; a load's register may feed later instructions
    as a data or address dependency. *)
-let gen_thread rng ~vars ~max_len tid =
+let gen_thread rng ~vars ~max_len ~with_isb tid =
   let len = 1 + Rng.int rng max_len in
   let reg_count = ref 0 in
   let produced = ref [] in
@@ -38,6 +38,9 @@ let gen_thread rng ~vars ~max_len tid =
         | 6 -> Lang.Fence Lang.F_dmb_full
         | 7 -> Lang.Fence Lang.F_dmb_st
         | 8 -> Lang.Fence Lang.F_dmb_ld
+        (* The ctrl+ISB fence is opt-in so that default streams (pinned
+           by the golden fuzz-round digest) are unchanged. *)
+        | _ when with_isb -> Lang.Fence Lang.F_isb
         | _ ->
           Lang.Load
             { var = any_var (); reg = fresh_reg (); acquire = false; addr_dep = None }
@@ -48,11 +51,11 @@ let gen_thread rng ~vars ~max_len tid =
   ignore tid;
   build len []
 
-let generate rng =
+let generate ?(with_isb = false) rng =
   let nvars = 2 + Rng.int rng 2 in
   let vars = List.init nvars (fun i -> Printf.sprintf "v%d" i) in
   let nthreads = 2 + Rng.int rng 2 in
-  let threads = List.init nthreads (gen_thread rng ~vars ~max_len:4) in
+  let threads = List.init nthreads (gen_thread rng ~vars ~max_len:4 ~with_isb) in
   {
     Lang.name = "fuzz";
     description = "randomly generated";

@@ -12,8 +12,11 @@
     the architecture forbids — exactly the class of bug this fuzzer
     exists to catch. *)
 
-val generate : Armb_sim.Rng.t -> Lang.test
-(** One random well-formed test. *)
+val generate : ?with_isb:bool -> Armb_sim.Rng.t -> Lang.test
+(** One random well-formed test.  [with_isb] (default false) lets the
+    vocabulary include the first-class ctrl+ISB fence [Lang.F_isb]; it
+    is opt-in so default streams stay bit-identical to the golden
+    digests. *)
 
 type report = {
   tests_run : int;

@@ -2,7 +2,7 @@ type reg = string
 
 type value = Const of int64 | Reg of reg
 
-type fence = F_dmb_full | F_dmb_st | F_dmb_ld | F_dsb
+type fence = F_dmb_full | F_dmb_st | F_dmb_ld | F_dsb | F_isb
 
 type instr =
   | Load of { var : string; reg : reg; acquire : bool; addr_dep : reg option }
@@ -62,6 +62,7 @@ let fence_to_string = function
   | F_dmb_st -> "dmb st"
   | F_dmb_ld -> "dmb ld"
   | F_dsb -> "dsb"
+  | F_isb -> "ctrl+isb"
 
 let pp_instr ppf = function
   | Load { var; reg; acquire; addr_dep } ->

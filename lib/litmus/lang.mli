@@ -5,9 +5,11 @@
     addressed as ["<thread>:<reg>"] (e.g. ["1:r2"]).  Dependencies are
     explicit: a store whose value is [Reg r] is data-dependent on the
     load that wrote [r]; [addr_dep] adds a (bogus) address dependency.
-    Control dependency to a store, and control+ISB to a load, have the
-    same ordering force as a dependency here and are expressed with
-    [addr_dep] (noted in the catalogue descriptions). *)
+    Control dependency to a store has the same ordering force as a
+    dependency here and is expressed with [addr_dep]; control+ISB is
+    first-class as the {!fence} [F_isb] (a conditional branch on a prior
+    loaded value followed by an ISB, which orders every earlier load
+    before everything later — the paper's CTRL+ISB row of Table 3). *)
 
 type reg = string
 
@@ -18,6 +20,9 @@ type fence =
   | F_dmb_st
   | F_dmb_ld
   | F_dsb
+  | F_isb
+      (** control dependency + ISB: orders prior loads before all later
+          accesses (load->load and load->store), never store->anything *)
 
 type instr =
   | Load of { var : string; reg : reg; acquire : bool; addr_dep : reg option }

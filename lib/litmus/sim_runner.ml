@@ -10,6 +10,7 @@ type result = {
   trials : int;
   findings : San.finding list;
   events : int;
+  cycles : int;
   fault_digest : int64;
   fault_delay : int;
 }
@@ -66,6 +67,11 @@ let compile_thread (th : Lang.thread) ~addr_of ~start_pause ~padding ~record (c 
           | Lang.F_dmb_st -> Armb_cpu.Barrier.Dmb St
           | Lang.F_dmb_ld -> Armb_cpu.Barrier.Dmb Ld
           | Lang.F_dsb -> Armb_cpu.Barrier.Dsb Full
+          (* ctrl+ISB: the pipeline flush refetches only after every
+             prior instruction retires, so earlier loads' sample times
+             gate everything later — the ordering the branch+ISB idiom
+             provides on hardware. *)
+          | Lang.F_isb -> Armb_cpu.Barrier.Isb
         in
         Core.barrier c b)
     th;
@@ -73,7 +79,7 @@ let compile_thread (th : Lang.thread) ~addr_of ~start_pause ~padding ~record (c 
   Hashtbl.iter (fun r tok -> record r (Core.await c tok)) toks
 
 let run ?(cfg = Armb_platform.Platform.kunpeng916) ?(trials = 200) ?(seed = 42)
-    ?(check = false) ?fault (t : Lang.test) =
+    ?(check = false) ?fault ?tracer (t : Lang.test) =
   let rng = Rng.create seed in
   let nthreads = List.length t.threads in
   let ncores = Armb_mem.Topology.num_cores cfg.topo in
@@ -104,6 +110,7 @@ let run ?(cfg = Armb_platform.Platform.kunpeng916) ?(trials = 200) ?(seed = 42)
   let merged : (string, San.finding) Hashtbl.t = Hashtbl.create 8 in
   let fault_digest = ref 0L in
   let fault_delay = ref 0 in
+  let cycles = ref 0 in
   for trial = 1 to trials do
     let san = if check then Some (San.create ()) else None in
     let observer = Option.map San.observer san in
@@ -114,7 +121,7 @@ let run ?(cfg = Armb_platform.Platform.kunpeng916) ?(trials = 200) ?(seed = 42)
         (fun (sp : Armb_fault.Plan.spec) -> Armb_fault.Plan.with_seed sp (sp.seed + trial))
         fault
     in
-    let m = Machine.create ?observer ?fault cfg in
+    let m = Machine.create ?tracer ?observer ?fault cfg in
     let mem = Machine.mem m in
     let addrs = List.map (fun v -> (v, Machine.alloc_line m)) vars in
     let addr_of v = List.assoc v addrs in
@@ -144,6 +151,7 @@ let run ?(cfg = Armb_platform.Platform.kunpeng916) ?(trials = 200) ?(seed = 42)
       t.threads;
     Machine.run_exn m;
     events := !events + Armb_sim.Event_queue.processed (Machine.queue m);
+    cycles := !cycles + Machine.elapsed m;
     (match Machine.injector m with
     | None -> ()
     | Some i ->
@@ -188,6 +196,7 @@ let run ?(cfg = Armb_platform.Platform.kunpeng916) ?(trials = 200) ?(seed = 42)
     trials;
     findings;
     events = !events;
+    cycles = !cycles;
     fault_digest = !fault_digest;
     fault_delay = !fault_delay;
   }
@@ -203,32 +212,11 @@ let pp_result ppf r =
 
 (* ---------- Sanitizer cross-check over the catalogue ---------- *)
 
-let has_order_devices (t : Lang.test) =
-  List.exists
-    (List.exists (function
-      | Lang.Fence _ -> true
-      | Lang.Load { acquire; addr_dep; _ } -> acquire || addr_dep <> None
-      | Lang.Store { release; addr_dep; v; _ } -> (
-        release || addr_dep <> None
-        || match v with Lang.Reg _ -> true | Lang.Const _ -> false)))
-    t.threads
+(* Deprecated aliases: the mutation helpers moved to {!Mutate} so the
+   synthesizer and the fuzz-repair soak can share them. *)
+let has_order_devices = Mutate.has_order_devices
 
-let strip_order (t : Lang.test) =
-  let strip_i = function
-    | Lang.Load { var; reg; _ } ->
-      Some (Lang.Load { var; reg; acquire = false; addr_dep = None })
-    | Lang.Store { var; v; _ } ->
-      let v =
-        match v with Lang.Const k -> Lang.Const k | Lang.Reg _ -> Lang.Const 1L
-      in
-      Some (Lang.Store { var; v; release = false; addr_dep = None })
-    | Lang.Fence _ -> None
-  in
-  {
-    t with
-    Lang.name = t.name ^ "-stripped";
-    threads = List.map (List.filter_map strip_i) t.threads;
-  }
+let strip_order t = Mutate.strip_order t
 
 type check_row = {
   test_name : string;

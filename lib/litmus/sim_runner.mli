@@ -21,6 +21,10 @@ type result = {
       (** sanitizer report, deduplicated across trials; empty unless
           [run ~check:true] *)
   events : int;  (** kernel events processed, summed over all trials *)
+  cycles : int;
+      (** simulated makespan cycles summed over all trials — the
+          synthesizer's per-platform cost metric ([cycles / trials] is
+          the average end-to-end latency of one run of the test) *)
   fault_digest : int64;
       (** replay witness folding every trial's fault-event digest; [0L]
           unless a fault plan was armed *)
@@ -33,6 +37,7 @@ val run :
   ?seed:int ->
   ?check:bool ->
   ?fault:Armb_fault.Plan.spec ->
+  ?tracer:(Armb_cpu.Trace.span -> unit) ->
   Lang.test ->
   result
 (** Defaults: kunpeng916, 200 trials, seed 42, check off.  With
@@ -40,7 +45,10 @@ val run :
     ({!Armb_check.Sanitizer}) and [findings] carries the racy pairs.
     [fault] arms the plan on every trial's machine, re-seeded per trial
     ([plan.seed + trial]) so the sweep explores distinct fault schedules
-    while remaining a pure function of (plan, seed, trials). *)
+    while remaining a pure function of (plan, seed, trials).  [tracer]
+    receives a span per micro-operation of {e every} trial (see
+    {!Armb_cpu.Trace}); for an inspectable Perfetto export run one trial
+    ([armb trace --test] does). *)
 
 val consistent_with_model : result -> Lang.test -> bool
 (** No witnessed interesting outcome unless the weak model allows it —
@@ -57,13 +65,13 @@ val pp_result : Format.formatter -> result -> unit
     they stand. *)
 
 val has_order_devices : Lang.test -> bool
-(** Does the test contain any fence, acquire/release or dependency? *)
+  [@@ocaml.deprecated "use Armb_litmus.Mutate.has_order_devices"]
+(** Deprecated alias of {!Mutate.has_order_devices}. *)
 
 val strip_order : Lang.test -> Lang.test
-(** Remove every ordering device: fences deleted, acquire/release
-    cleared, address dependencies dropped, register-valued stores made
-    constant (severing data dependencies).  Outcome predicates are kept
-    but only the sanitizer verdict of the stripped test is meaningful. *)
+  [@@ocaml.deprecated "use Armb_litmus.Mutate.strip_order"]
+(** Deprecated alias of {!Mutate.strip_order} (full strip: data
+    dependencies severed). *)
 
 type check_row = {
   test_name : string;

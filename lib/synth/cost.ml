@@ -1,0 +1,34 @@
+module Lang = Armb_litmus.Lang
+module Sim_runner = Armb_litmus.Sim_runner
+module Platform = Armb_platform.Platform
+
+type platform_cost = { platform : string; cycles : float }
+
+let default_trials = 60
+let default_seed = 42
+
+let platforms = Platform.names
+
+let measure ?(trials = default_trials) ?(seed = default_seed) t =
+  List.map
+    (fun cfg ->
+      let r = Sim_runner.run ~cfg ~trials ~seed t in
+      {
+        platform = cfg.Armb_cpu.Config.name;
+        cycles = float_of_int r.Sim_runner.cycles /. float_of_int trials;
+      })
+    Platform.all
+
+let cheaper_or_equal a b =
+  List.for_all
+    (fun ca ->
+      match List.find_opt (fun cb -> cb.platform = ca.platform) b with
+      | None -> true
+      | Some cb -> ca.cycles <= cb.cycles)
+    a
+
+let pp ppf l =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    (fun ppf c -> Format.fprintf ppf "%s:%.1f" c.platform c.cycles)
+    ppf l

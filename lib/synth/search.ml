@@ -1,0 +1,58 @@
+module Lang = Armb_litmus.Lang
+module Enumerate = Armb_litmus.Enumerate
+
+type outcome = {
+  repairs : Placement.edit list list;
+  oracle_calls : int;
+  complete : bool;
+}
+
+let default_sound t = not (Enumerate.allows Enumerate.Wmm t)
+
+exception Out_of_budget
+
+let is_subset small big = List.for_all (fun e -> List.mem e big) small
+
+let search ?(max_edits = 3) ?(budget = 4000) ?(sound = default_sound) ?candidates t =
+  let cands =
+    match candidates with Some c -> c | None -> Placement.candidates t
+  in
+  let calls = ref 0 in
+  let found = ref [] in
+  let check set =
+    if !calls >= budget then raise Out_of_budget;
+    incr calls;
+    sound (Placement.apply t set)
+  in
+  (* Enumerate k-subsets of [cands] in lexicographic order of the
+     static-cost-sorted candidate list; a subset that contains an
+     already-found repair is sufficient but redundant, so it is pruned
+     without an oracle call. *)
+  let arr = Array.of_list cands in
+  let n = Array.length arr in
+  let rec walk k start acc_rev =
+    if k = 0 then begin
+      let set = List.rev acc_rev in
+      if (not (List.exists (fun r -> is_subset r set) !found)) && check set then
+        found := !found @ [ set ]
+    end
+    else
+      for i = start to n - k do
+        walk (k - 1) (i + 1) (arr.(i) :: acc_rev)
+      done
+  in
+  let complete =
+    try
+      for k = 1 to min max_edits n do
+        walk k 0 []
+      done;
+      true
+    with Out_of_budget -> false
+  in
+  { repairs = !found; oracle_calls = !calls; complete }
+
+let irredundant ~sound t set =
+  sound (Placement.apply t set)
+  && List.for_all
+       (fun e -> not (sound (Placement.apply t (List.filter (fun x -> x <> e) set))))
+       set

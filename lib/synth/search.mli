@@ -1,0 +1,45 @@
+(** Branch-and-bound search for minimal sufficient edit sets.
+
+    Soundness is decided by an oracle over the edited test — by default
+    "the forbidden outcome is unreachable under the exhaustive WMM
+    enumerator" ({!Armb_litmus.Enumerate.allows}).  The search walks
+    subsets of {!Placement.candidates} level by level (all singletons,
+    then all pairs, ...), skipping any superset of an already-found
+    repair.  Because every strict subset of a candidate set has been
+    tested (and found insufficient) before the set itself, everything
+    reported is exactly the set of {e irredundant} sufficient repairs:
+    dropping any single edit re-admits the forbidden outcome. *)
+
+module Lang = Armb_litmus.Lang
+
+type outcome = {
+  repairs : Placement.edit list list;
+      (** every irredundant sufficient edit set found, in discovery
+          order (static-cost-lexicographic, cheapest first) *)
+  oracle_calls : int;
+  complete : bool;
+      (** false when the oracle-call budget truncated the walk — there
+          may be further repairs beyond the ones reported *)
+}
+
+val default_sound : Lang.test -> bool
+(** [not (Enumerate.allows Wmm t)] — the forbidden outcome is
+    unreachable under the weak model. *)
+
+val search :
+  ?max_edits:int ->
+  ?budget:int ->
+  ?sound:(Lang.test -> bool) ->
+  ?candidates:Placement.edit list ->
+  Lang.test ->
+  outcome
+(** Defaults: [max_edits] 3, [budget] 4000 oracle calls,
+    [sound] {!default_sound}, [candidates] {!Placement.candidates}.
+    The original (zero-edit) test is {e not} checked: callers decide
+    what an already-sound input means. *)
+
+val irredundant : sound:(Lang.test -> bool) -> Lang.test -> Placement.edit list -> bool
+(** Explicit re-verification that dropping any single edit of a
+    sufficient set re-admits the forbidden outcome (the property the
+    level-wise walk guarantees by construction; exposed for reports and
+    tests). *)

@@ -9,6 +9,7 @@ module San = Armb_check.Sanitizer
 module Lang = Armb_litmus.Lang
 module Cat = Armb_litmus.Catalogue
 module Sim = Armb_litmus.Sim_runner
+module Mut = Armb_litmus.Mutate
 
 let check = Alcotest.check
 
@@ -90,23 +91,23 @@ let test_pilot_mp_clean () =
 (* ---------- order stripping ---------- *)
 
 let test_strip_order () =
-  let stripped = Sim.strip_order Cat.mp_dmb in
+  let stripped = Mut.strip_order Cat.mp_dmb in
   check Alcotest.bool "stripped test has no devices left" false
-    (Sim.has_order_devices stripped);
+    (Mut.has_order_devices stripped);
   let n_instrs t =
     List.fold_left (fun acc th -> acc + List.length th) 0 t.Lang.threads
   in
   (* mp_dmb is MP plus two fences; stripping deletes exactly those. *)
   check Alcotest.int "fences removed" (n_instrs Cat.mp) (n_instrs stripped);
   check Alcotest.bool "acq/rel cleared" false
-    (Sim.has_order_devices (Sim.strip_order Cat.mp_acq_rel));
+    (Mut.has_order_devices (Mut.strip_order Cat.mp_acq_rel));
   check Alcotest.bool "data deps severed" false
-    (Sim.has_order_devices (Sim.strip_order Cat.lb_data_dep))
+    (Mut.has_order_devices (Mut.strip_order Cat.lb_data_dep))
 
 let test_has_order_devices () =
   List.iter
     (fun (t, expected) ->
-      check Alcotest.bool t.Lang.name expected (Sim.has_order_devices t))
+      check Alcotest.bool t.Lang.name expected (Mut.has_order_devices t))
     [
       (Cat.mp, false);
       (Cat.mp_pilot, false);
