@@ -1,7 +1,8 @@
 (* armb: command-line front end of the library.
 
    Subcommands: platforms, model, tipping, observations, advise, litmus,
-   check, ring, report, fuzz, perturb, perf, trace.  See `armb --help`. *)
+   check, ring, report, fuzz, perturb, perf, trace, serve, batch.
+   See `armb --help`. *)
 
 open Cmdliner
 
@@ -11,6 +12,47 @@ module Barrier = Armb_cpu.Barrier
 module Ordering = Armb_core.Ordering
 module P = Armb_platform.Platform
 module RC = Armb_platform.Run_config
+
+(* Every subcommand that takes --out/--output routes file writing
+   through here: missing parent directories are created, and any I/O
+   failure becomes one consistent message instead of a raw Sys_error. *)
+let rec ensure_dir d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    ensure_dir (Filename.dirname d);
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+let write_out path text =
+  match
+    ensure_dir (Filename.dirname path);
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc text)
+  with
+  (* report on stderr: stdout may be a data stream (armb serve) *)
+  | () -> Printf.eprintf "wrote %s\n" path
+  | exception Sys_error m ->
+    Printf.eprintf "armb: cannot write %s: %s\n" path m;
+    exit 1
+
+let read_lines path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | l -> go (l :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+  with
+  | lines -> lines
+  | exception Sys_error m ->
+    Printf.eprintf "armb: cannot read %s: %s\n" path m;
+    exit 1
 
 let platform_arg =
   let parse s =
@@ -61,26 +103,8 @@ let fault_of ~(rc : RC.t) ~name intensity =
   if intensity <= 0.0 then None
   else Some (Armb_fault.Plan.of_intensity ~seed:rc.seed ~name intensity)
 
-let approaches =
-  [
-    ("none", Ordering.No_barrier);
-    ("dmb", Ordering.Bar (Barrier.Dmb Full));
-    ("dmb-st", Ordering.Bar (Barrier.Dmb St));
-    ("dmb-ld", Ordering.Bar (Barrier.Dmb Ld));
-    ("dsb", Ordering.Bar (Barrier.Dsb Full));
-    ("dsb-st", Ordering.Bar (Barrier.Dsb St));
-    ("dsb-ld", Ordering.Bar (Barrier.Dsb Ld));
-    ("isb", Ordering.Bar Barrier.Isb);
-    ("ldar", Ordering.Ldar_acquire);
-    ("stlr", Ordering.Stlr_release);
-    ("data-dep", Ordering.Data_dep);
-    ("addr-dep", Ordering.Addr_dep);
-    ("ctrl", Ordering.Ctrl_dep);
-    ("ctrl-isb", Ordering.Ctrl_isb);
-  ]
-
 let approach =
-  Arg.(value & opt (enum approaches) (Ordering.Bar (Barrier.Dmb Full)) & info [ "a"; "approach" ] ~docv:"APPROACH" ~doc:"Order-preserving approach.")
+  Arg.(value & opt (enum Ordering.named) (Ordering.Bar (Barrier.Dmb Full)) & info [ "a"; "approach" ] ~docv:"APPROACH" ~doc:"Order-preserving approach.")
 
 let mem_ops =
   Arg.(value
@@ -346,8 +370,7 @@ let perf_cmd =
     let base = Option.map (fun p -> (p, Perf.load_json ~path:p)) baseline in
     let r = Perf.run ~quick ?fault ~progress:(fun n -> Printf.printf "perf: %s...\n%!" n) () in
     Format.printf "%a@." Perf.pp r;
-    Perf.write_json ~path:out r;
-    Printf.printf "wrote %s\n" out;
+    write_out out (Perf.to_json r);
     match base with
     | None -> ()
     | Some (p, None) ->
@@ -445,11 +468,7 @@ let perturb_cmd =
     say "\nperturbation sweep: %s\n" (if sweep.ok then "ok" else "FAIL");
     (match out with
     | None -> ()
-    | Some path ->
-      let oc = open_out path in
-      output_string oc (Buffer.contents buf);
-      close_out oc;
-      Printf.printf "wrote %s\n" path);
+    | Some path -> write_out path (Buffer.contents buf));
     if not sweep.ok then exit 1
   in
   Cmd.v
@@ -504,11 +523,7 @@ let fix_cmd =
       if text <> "" && text.[String.length text - 1] <> '\n' then print_newline ();
       match out with
       | None -> ()
-      | Some path ->
-        let oc = open_out path in
-        output_string oc text;
-        close_out oc;
-        Printf.printf "wrote %s\n" path
+      | Some path -> write_out path text
     in
     if soak > 0 then begin
       let r = Soak.run ~tests:soak ~seed ~max_edits:(min max_edits 2) ~budget () in
@@ -611,10 +626,10 @@ let trace_cmd =
         Armb_litmus.Sim_runner.run ~cfg:rc.cfg ~trials:1 ~seed:rc.seed
           ~tracer:(Armb_cpu.Trace.emit tr) t
       in
-      Armb_cpu.Trace.write_file tr out;
-      Printf.printf "wrote %d spans (%d dropped) covering %d cycles of %s to %s\n"
+      write_out out (Armb_cpu.Trace.to_chrome_json tr);
+      Printf.printf "%d spans (%d dropped) covering %d cycles of %s\n"
         (List.length (Armb_cpu.Trace.spans tr))
-        (Armb_cpu.Trace.dropped tr) r.Armb_litmus.Sim_runner.cycles t.name out;
+        (Armb_cpu.Trace.dropped tr) r.Armb_litmus.Sim_runner.cycles t.name;
       print_endline "open it at chrome://tracing or https://ui.perfetto.dev"
   in
   let run (rc : RC.t) out messages test_name fixed =
@@ -652,9 +667,9 @@ let trace_cmd =
           Core.store c cons_cnt (Int64.of_int (i + 1))
         done);
     Machine.run_exn m;
-    Trace.write_file tr out;
-    Printf.printf "wrote %d spans (%d dropped) covering %d cycles to %s\n"
-      (List.length (Trace.spans tr)) (Trace.dropped tr) (Machine.elapsed m) out;
+    write_out out (Trace.to_chrome_json tr);
+    Printf.printf "%d spans (%d dropped) covering %d cycles\n"
+      (List.length (Trace.spans tr)) (Trace.dropped tr) (Machine.elapsed m);
     print_endline "open it at chrome://tracing or https://ui.perfetto.dev"
   in
   Cmd.v
@@ -663,6 +678,165 @@ let trace_cmd =
              of a litmus test (optionally after repair) — and export Chrome trace-event \
              JSON.")
     Term.(const run $ run_config () $ out $ messages $ test_name $ fixed)
+
+(* ---------- serve / batch ---------- *)
+
+module Engine = Armb_service.Engine
+module Serve = Armb_service.Serve
+module Codec = Armb_service.Codec
+module Json = Armb_service.Json
+module Metrics = Armb_service.Metrics
+
+let no_cache =
+  Arg.(value & flag
+       & info [ "no-cache" ]
+           ~doc:"Disable memoization and coalescing: every request computes from \
+                 scratch (cold baseline).")
+
+let queue_bound =
+  Arg.(value & opt int 256
+       & info [ "queue-bound" ] ~docv:"N"
+           ~doc:"Most distinct computations queued at once; beyond it requests are \
+                 shed with a retry-after hint.")
+
+let cache_cap =
+  Arg.(value & opt int 512
+       & info [ "cache-cap" ] ~docv:"N" ~doc:"Memo-cache capacity (LRU eviction).")
+
+let metrics_out =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Write the engine's metrics JSON (schema armb-serve-metrics-v1) to \
+                 FILE on exit.")
+
+let dump_metrics engine = function
+  | None -> ()
+  | Some path ->
+    write_out path (Json.to_string (Metrics.to_json (Engine.metrics engine)) ^ "\n")
+
+let serve_cmd =
+  let batch_file =
+    Arg.(value & opt (some string) None
+         & info [ "batch" ] ~docv:"FILE"
+             ~doc:"One-shot mode: read every request from FILE, write all responses \
+                   to stdout, then exit (instead of streaming stdin/stdout).")
+  in
+  let drain_every =
+    Arg.(value & opt int 16
+         & info [ "drain-every" ] ~docv:"N"
+             ~doc:"Streaming mode: run queued computations whenever N are pending \
+                   (and at end of input).")
+  in
+  let run no_cache queue_bound cache_cap drain_every batch_file metrics_out =
+    if queue_bound < 1 then begin
+      Printf.eprintf "armb serve: --queue-bound must be >= 1\n";
+      exit 2
+    end;
+    let engine = Engine.create ~cache_cap ~queue_bound ~no_cache () in
+    (match batch_file with
+    | None -> Serve.serve ~drain_every engine stdin stdout
+    | Some f ->
+      let b = Serve.run_batch engine ~lines:(read_lines f) in
+      List.iter (fun r -> print_endline (Codec.response_to_line r)) b.Serve.responses);
+    dump_metrics engine metrics_out
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Job service: newline-delimited JSON requests in, responses out, with \
+             content-addressed memoization, request coalescing, fair-share priority \
+             scheduling and load shedding.")
+    Term.(const run $ no_cache $ queue_bound $ cache_cap $ drain_every $ batch_file
+          $ metrics_out)
+
+let batch_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"NDJSON request file (one JSON object per line).")
+  in
+  let make_demo =
+    Arg.(value & flag
+         & info [ "make-demo" ]
+             ~doc:"Write a deterministic duplicate-heavy demo batch to FILE and exit.")
+  in
+  let requests =
+    Arg.(value & opt int 200
+         & info [ "requests" ] ~docv:"N" ~doc:"Demo batch size (with $(b,--make-demo)).")
+  in
+  let demo_seed =
+    Arg.(value & opt int 7
+         & info [ "demo-seed" ] ~docv:"N" ~doc:"Demo batch RNG seed (with $(b,--make-demo)).")
+  in
+  let compare_cold =
+    Arg.(value & flag
+         & info [ "compare-cold" ]
+             ~doc:"Run the batch through a cacheless engine and a caching engine, \
+                   verify the responses are byte-identical, and report the speedup.")
+  in
+  let min_speedup =
+    Arg.(value & opt float 0.0
+         & info [ "min-speedup" ] ~docv:"X"
+             ~doc:"With $(b,--compare-cold): fail unless warm is at least X times \
+                   faster than cold (0 disables the gate).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Also write the responses NDJSON to FILE.")
+  in
+  let run file make_demo requests demo_seed compare_cold min_speedup no_cache
+      queue_bound cache_cap out metrics_out =
+    if make_demo then begin
+      let lines = Serve.demo_requests ~requests ~seed:demo_seed () in
+      write_out file (String.concat "\n" lines ^ "\n")
+    end
+    else begin
+      let lines = read_lines file in
+      let responses_text (b : Serve.batch) =
+        String.concat "" (List.map (fun r -> Codec.response_to_line r ^ "\n") b.responses)
+      in
+      if compare_cold then begin
+        let c = Serve.compare_cold ~cache_cap ~lines () in
+        Printf.printf "== cold (no cache) ==\n%s\n"
+          (Serve.summary c.Serve.cold c.Serve.cold_metrics);
+        Printf.printf "== warm (memoized) ==\n%s\n"
+          (Serve.summary c.Serve.warm c.Serve.warm_metrics);
+        Printf.printf "identical: %b\nspeedup: %.2fx\n" c.Serve.identical c.Serve.speedup;
+        (match out with
+        | None -> ()
+        | Some path -> write_out path (responses_text c.Serve.warm));
+        (* warm-engine metrics are the interesting artifact here *)
+        (match metrics_out with
+        | None -> ()
+        | Some path ->
+          write_out path (Json.to_string (Metrics.to_json c.Serve.warm_metrics) ^ "\n"));
+        if not c.Serve.identical then begin
+          Printf.eprintf "armb batch: warm responses differ from cold responses\n";
+          exit 1
+        end;
+        if min_speedup > 0.0 && c.Serve.speedup < min_speedup then begin
+          Printf.eprintf "armb batch: speedup %.2fx below required %.2fx\n"
+            c.Serve.speedup min_speedup;
+          exit 1
+        end
+      end
+      else begin
+        let engine = Engine.create ~cache_cap ~queue_bound ~no_cache () in
+        let b = Serve.run_batch engine ~lines in
+        print_string (Serve.summary b (Engine.metrics engine));
+        (match out with
+        | None -> ()
+        | Some path -> write_out path (responses_text b));
+        dump_metrics engine metrics_out
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Client convenience over the job service: run an NDJSON request file \
+             through an engine and print a summary table; optionally verify the memo \
+             cache against a cold run ($(b,--compare-cold)) or generate a demo batch \
+             ($(b,--make-demo)).")
+    Term.(const run $ file $ make_demo $ requests $ demo_seed $ compare_cold
+          $ min_speedup $ no_cache $ queue_bound $ cache_cap $ out $ metrics_out)
 
 let () =
   let doc = "ARM barrier characterization and optimization toolkit (PPoPP'20 reproduction)" in
@@ -684,4 +858,6 @@ let () =
             perturb_cmd;
             perf_cmd;
             trace_cmd;
+            serve_cmd;
+            batch_cmd;
           ]))

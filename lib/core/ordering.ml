@@ -22,6 +22,26 @@ let to_string = function
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 
+let named =
+  [
+    ("none", No_barrier);
+    ("dmb", Bar (Barrier.Dmb Full));
+    ("dmb-st", Bar (Barrier.Dmb St));
+    ("dmb-ld", Bar (Barrier.Dmb Ld));
+    ("dsb", Bar (Barrier.Dsb Full));
+    ("dsb-st", Bar (Barrier.Dsb St));
+    ("dsb-ld", Bar (Barrier.Dsb Ld));
+    ("isb", Bar Barrier.Isb);
+    ("ldar", Ldar_acquire);
+    ("stlr", Stlr_release);
+    ("data-dep", Data_dep);
+    ("addr-dep", Addr_dep);
+    ("ctrl", Ctrl_dep);
+    ("ctrl-isb", Ctrl_isb);
+  ]
+
+let of_name s = List.assoc_opt (String.lowercase_ascii s) named
+
 let requires_leading_load = function
   | Ldar_acquire | Data_dep | Addr_dep | Ctrl_dep | Ctrl_isb -> true
   | No_barrier | Bar _ | Stlr_release -> false

@@ -15,6 +15,14 @@ type t =
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
 
+val named : (string * t) list
+(** The stable machine-readable spellings ("dmb-st", "ldar",
+    "ctrl-isb", ...) shared by the CLI's [--approach] enum and the
+    service's JSON request codec. *)
+
+val of_name : string -> t option
+(** Case-insensitive lookup in {!named}. *)
+
 val requires_leading_load : t -> bool
 (** The approach only makes sense when the first of the two ordered
     accesses is a load. *)

@@ -210,13 +210,12 @@ let pp_result ppf r =
   List.iter (fun f -> Format.fprintf ppf "%a@," San.pp_finding f) r.findings;
   Format.fprintf ppf "@]"
 
+(* The service engine's entry point: one validated Run_config instead
+   of re-threading (cfg, trials, seed) positionally. *)
+let run_rc ?check ?fault ?tracer (rc : Armb_platform.Run_config.t) t =
+  run ~cfg:rc.cfg ~trials:rc.trials ~seed:rc.seed ?check ?fault ?tracer t
+
 (* ---------- Sanitizer cross-check over the catalogue ---------- *)
-
-(* Deprecated aliases: the mutation helpers moved to {!Mutate} so the
-   synthesizer and the fuzz-repair soak can share them. *)
-let has_order_devices = Mutate.has_order_devices
-
-let strip_order t = Mutate.strip_order t
 
 type check_row = {
   test_name : string;
@@ -229,34 +228,35 @@ type check_row = {
 let check_test ?cfg ?(trials = 50) ?seed ?fault (t : Lang.test) =
   let base = run ?cfg ~trials ?seed ~check:true ?fault t in
   let stripped =
-    if has_order_devices t then
-      Some (run ?cfg ~trials ?seed ~check:true ?fault (strip_order t))
+    if Mutate.has_order_devices t then
+      Some (run ?cfg ~trials ?seed ~check:true ?fault (Mutate.strip_order t))
     else None
   in
   (base, stripped)
+
+let check_row_of (t : Lang.test) ~base ~stripped =
+  let base_findings = List.length base.findings in
+  let stripped_findings = Option.map (fun r -> List.length r.findings) stripped in
+  let forbidden = not t.expect_wmm in
+  let row_ok =
+    if forbidden then
+      (* A test whose weak outcome the model forbids must carry
+         enough ordering that the sanitizer finds nothing — and
+         once the ordering devices are stripped, the latent race
+         must surface. *)
+      base_findings = 0
+      && (match stripped_findings with None -> true | Some n -> n > 0)
+    else if Mutate.has_order_devices t then true (* partially ordered: informational *)
+    else base_findings > 0 (* racy by design: must be flagged *)
+  in
+  { test_name = t.Lang.name; forbidden; base_findings; stripped_findings; row_ok }
 
 let cross_check ?cfg ?(trials = 50) ?seed ?fault () =
   let rows =
     List.map
       (fun (t : Lang.test) ->
         let base, stripped = check_test ?cfg ~trials ?seed ?fault t in
-        let base_findings = List.length base.findings in
-        let stripped_findings =
-          Option.map (fun r -> List.length r.findings) stripped
-        in
-        let forbidden = not t.expect_wmm in
-        let row_ok =
-          if forbidden then
-            (* A test whose weak outcome the model forbids must carry
-               enough ordering that the sanitizer finds nothing — and
-               once the ordering devices are stripped, the latent race
-               must surface. *)
-            base_findings = 0
-            && (match stripped_findings with None -> true | Some n -> n > 0)
-          else if has_order_devices t then true (* partially ordered: informational *)
-          else base_findings > 0 (* racy by design: must be flagged *)
-        in
-        { test_name = t.Lang.name; forbidden; base_findings; stripped_findings; row_ok })
+        check_row_of t ~base ~stripped)
       Catalogue.all
   in
   (rows, List.for_all (fun r -> r.row_ok) rows)

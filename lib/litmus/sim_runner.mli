@@ -50,6 +50,17 @@ val run :
     {!Armb_cpu.Trace}); for an inspectable Perfetto export run one trial
     ([armb trace --test] does). *)
 
+val run_rc :
+  ?check:bool ->
+  ?fault:Armb_fault.Plan.spec ->
+  ?tracer:(Armb_cpu.Trace.span -> unit) ->
+  Armb_platform.Run_config.t ->
+  Lang.test ->
+  result
+(** {!run} with (platform, trials, seed) taken from one validated
+    {!Armb_platform.Run_config} — the pure entry point the job-service
+    engine memoizes. *)
+
 val consistent_with_model : result -> Lang.test -> bool
 (** No witnessed interesting outcome unless the weak model allows it —
     the cross-check property between the two backends. *)
@@ -62,16 +73,10 @@ val pp_result : Format.formatter -> result -> unit
     weak outcome is forbidden must come out clean, and must be flagged
     again once its ordering devices (fences, acquire/release,
     dependencies) are stripped; racy-by-design tests must be flagged as
-    they stand. *)
+    they stand.
 
-val has_order_devices : Lang.test -> bool
-  [@@ocaml.deprecated "use Armb_litmus.Mutate.has_order_devices"]
-(** Deprecated alias of {!Mutate.has_order_devices}. *)
-
-val strip_order : Lang.test -> Lang.test
-  [@@ocaml.deprecated "use Armb_litmus.Mutate.strip_order"]
-(** Deprecated alias of {!Mutate.strip_order} (full strip: data
-    dependencies severed). *)
+    The [strip_order]/[has_order_devices] aliases deprecated in PR 4
+    are gone — use {!Mutate.strip_order} / {!Mutate.has_order_devices}. *)
 
 type check_row = {
   test_name : string;
@@ -90,6 +95,11 @@ val check_test :
   result * result option
 (** Run a test under the sanitizer, plus its stripped variant when it
     has ordering devices.  Default 50 trials. *)
+
+val check_row_of : Lang.test -> base:result -> stripped:result option -> check_row
+(** Judge one test from its {!check_test} results — the pure per-test
+    verdict {!cross_check} folds over the catalogue (and the service
+    engine's "check" job uses directly). *)
 
 val cross_check :
   ?cfg:Armb_cpu.Config.t ->

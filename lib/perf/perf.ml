@@ -100,6 +100,36 @@ let fuzz_round ?fault ~tests ~trials_per_test () =
   let r = Armb_litmus.Fuzz.run ?fault ~tests ~trials_per_test ~seed:1234 () in
   r.Armb_litmus.Fuzz.events
 
+(* The job service over a duplicate-heavy demo batch.  serve-cold
+   measures the engine's queue/key/execute overhead with memoization
+   off; serve-warm serves the same batch out of a populated memo cache.
+   Events count what each ok response *serves* (a cache hit credits its
+   computation's events), so the warm number reflects cache throughput.
+   Like fig3-slice these stay clean under a fault plan: demo requests
+   carry fault intensity 0. *)
+module Service = Armb_service
+
+let served (b : Service.Serve.batch) =
+  List.fold_left
+    (fun acc (r : Service.Engine.response) ->
+      match r.Service.Engine.reply with
+      | Service.Engine.Result { result; _ } -> acc + result.Service.Job.events
+      | _ -> acc)
+    0 b.Service.Serve.responses
+
+let serve_cold ~requests () =
+  let lines = Service.Serve.demo_requests ~requests ~seed:11 () in
+  let engine = Service.Engine.create ~no_cache:true ~queue_bound:(max 256 requests) () in
+  served (Service.Serve.run_batch engine ~lines)
+
+(* The populating pass runs at workload-construction time, outside the
+   timed region: only cache service is measured. *)
+let serve_warm ~requests =
+  let lines = Service.Serve.demo_requests ~requests ~seed:11 () in
+  let engine = Service.Engine.create ~queue_bound:(max 256 requests) () in
+  ignore (Service.Serve.run_batch engine ~lines : Service.Serve.batch);
+  fun () -> served (Service.Serve.run_batch engine ~lines)
+
 (* ---------- harness ---------- *)
 
 let time f =
@@ -129,6 +159,8 @@ let run ?(quick = false) ?fault ?(progress = fun _ -> ()) () =
         ("litmus-catalogue", litmus_catalogue ?fault ~trials:800);
         ("fig6a-ring", fig6a_ring ?fault ~messages:40000);
         ("fuzz-round", fuzz_round ?fault ~tests:30 ~trials_per_test:120);
+        ("serve-cold", serve_cold ~requests:120);
+        ("serve-warm", serve_warm ~requests:120);
       ]
     else
       [
@@ -136,6 +168,8 @@ let run ?(quick = false) ?fault ?(progress = fun _ -> ()) () =
         ("litmus-catalogue", litmus_catalogue ?fault ~trials:2000);
         ("fig6a-ring", fig6a_ring ?fault ~messages:100000);
         ("fuzz-round", fuzz_round ?fault ~tests:60 ~trials_per_test:150);
+        ("serve-cold", serve_cold ~requests:400);
+        ("serve-warm", serve_warm ~requests:400);
       ]
   in
   let samples =

@@ -1,0 +1,172 @@
+module Lang = Armb_litmus.Lang
+module AM = Armb_core.Abstracted_model
+module RC = Armb_platform.Run_config
+
+let find_test name =
+  let name = String.lowercase_ascii name in
+  List.find_opt
+    (fun (t : Lang.test) -> String.lowercase_ascii t.Lang.name = name)
+    Armb_litmus.Catalogue.all
+
+let ( let* ) = Result.bind
+
+let required what = function Some v -> Ok v | None -> Error ("missing " ^ what)
+
+let test_field j =
+  let* name = required "\"test\"" (Json.mem_str "test" j) in
+  match find_test name with
+  | Some t -> Ok t
+  | None ->
+    Error
+      (Printf.sprintf "unknown test %S (try: %s)" name
+         (String.concat ", "
+            (List.map (fun (t : Lang.test) -> t.Lang.name) Armb_litmus.Catalogue.all)))
+
+let mem_ops_of_string = function
+  | "no-mem" -> Some AM.No_mem
+  | "st-st" | "store-store" -> Some AM.Store_store
+  | "ld-st" | "load-store" -> Some AM.Load_store
+  | "ld-ld" | "load-load" -> Some AM.Load_load
+  | _ -> None
+
+let int_field ?default k j =
+  match Json.member k j with
+  | None -> (
+    match default with Some d -> Ok d | None -> Error (Printf.sprintf "missing %S" k))
+  | Some v -> (
+    match Json.int v with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "%S is not an integer" k))
+
+let spec_of_json j =
+  let* kind = required "\"kind\"" (Json.mem_str "kind" j) in
+  match String.lowercase_ascii kind with
+  | "litmus" ->
+    let* t = test_field j in
+    Ok (Job.Litmus t)
+  | "check" ->
+    let* t = test_field j in
+    Ok (Job.Check t)
+  | "fix" ->
+    let* t = test_field j in
+    let* max_edits = int_field ~default:3 "max_edits" j in
+    let* budget = int_field ~default:4000 "budget" j in
+    Ok (Job.Fix { test = t; max_edits; budget })
+  | "model" ->
+    let* mem_ops_s = required "\"mem_ops\"" (Json.mem_str "mem_ops" j) in
+    let* mem_ops =
+      required (Printf.sprintf "valid \"mem_ops\" (got %S)" mem_ops_s)
+        (mem_ops_of_string (String.lowercase_ascii mem_ops_s))
+    in
+    let* approach_s = required "\"approach\"" (Json.mem_str "approach" j) in
+    let* approach =
+      required
+        (Printf.sprintf "valid \"approach\" (got %S; try: %s)" approach_s
+           (String.concat ", " (List.map fst Armb_core.Ordering.named)))
+        (Armb_core.Ordering.of_name approach_s)
+    in
+    let* loc = int_field ~default:1 "location" j in
+    let* location =
+      match loc with
+      | 1 -> Ok AM.Loc1
+      | 2 -> Ok AM.Loc2
+      | n -> Error (Printf.sprintf "\"location\" must be 1 or 2, got %d" n)
+    in
+    let* nops = int_field ~default:100 "nops" j in
+    let* iters = int_field ~default:300 "iters" j in
+    let label =
+      match Json.mem_str "label" j with
+      | Some l -> l
+      | None -> Armb_core.Ordering.to_string approach
+    in
+    Ok (Job.Model { label; mem_ops; approach; location; nops; iters })
+  | "ring" ->
+    let* combo = required "\"combo\"" (Json.mem_str "combo" j) in
+    let* messages = int_field ~default:500 "messages" j in
+    Ok (Job.Ring { combo; messages })
+  | "fuzz" ->
+    let* tests = int_field ~default:10 "tests" j in
+    Ok (Job.Fuzz { tests })
+  | k -> Error (Printf.sprintf "unknown kind %S" k)
+
+let rc_of_json j =
+  let kv = ref [] in
+  (match Json.mem_str "platform" j with
+  | Some p -> kv := ("platform", p) :: !kv
+  | None -> ());
+  (match Json.member "cores" j with
+  | Some (Json.List [ a; b ]) -> (
+    match (Json.int a, Json.int b) with
+    | Some a, Some b -> kv := ("cores", Printf.sprintf "%d,%d" a b) :: !kv
+    | _ -> kv := ("cores", "bad") :: !kv)
+  | Some (Json.Str s) -> kv := ("cores", s) :: !kv
+  | Some _ -> kv := ("cores", "bad") :: !kv
+  | None -> ());
+  (match Json.mem_int "seed" j with
+  | Some s -> kv := ("seed", string_of_int s) :: !kv
+  | None -> ());
+  (match Json.mem_int "trials" j with
+  | Some s -> kv := ("trials", string_of_int s) :: !kv
+  | None -> ());
+  RC.of_kv ~defaults:(RC.make ~seed:42 ~trials:40 Armb_platform.Platform.kunpeng916) !kv
+
+let request_of_json ?(default_id = "?") j =
+  let id =
+    match Json.member "id" j with
+    | Some (Json.Str s) -> s
+    | Some (Json.Int n) -> string_of_int n
+    | _ -> default_id
+  in
+  let client = Option.value ~default:"anon" (Json.mem_str "client" j) in
+  let* priority =
+    match Json.mem_str "priority" j with
+    | None -> Ok Engine.Normal
+    | Some p ->
+      required
+        (Printf.sprintf "valid \"priority\" (got %S)" p)
+        (Engine.priority_of_string p)
+  in
+  let* spec = spec_of_json j in
+  let* rc = rc_of_json j in
+  let* fault =
+    match Json.member "fault" j with
+    | None -> Ok 0.0
+    | Some v -> (
+      match Json.number v with
+      | Some f when f >= 0.0 && f <= 1.0 -> Ok f
+      | Some f -> Error (Printf.sprintf "\"fault\" %g outside [0,1]" f)
+      | None -> Error "\"fault\" is not a number")
+  in
+  Ok { Engine.id; client; priority; job = { Job.spec; rc; fault } }
+
+let request_of_line ?default_id line =
+  let* j = Json.of_string line in
+  request_of_json ?default_id j
+
+let response_to_json (r : Engine.response) =
+  let base = [ ("id", Json.Str r.id); ("client", Json.Str r.client) ] in
+  match r.reply with
+  | Engine.Result { origin; key; wall_us; result } ->
+    Json.Obj
+      (base
+      @ [
+          ("status", Json.Str "ok");
+          ( "origin",
+            Json.Str
+              (match origin with
+              | Engine.Cold -> "cold"
+              | Engine.Hit -> "hit"
+              | Engine.Coalesced -> "coalesced") );
+          ("key", Json.Str key);
+          ("wall_us", Json.Int wall_us);
+          ("events", Json.Int result.Job.events);
+          ("cycles", Json.Int result.Job.cycles);
+          ("result", Json.Str result.Job.text);
+        ])
+  | Engine.Shed { retry_after_ms } ->
+    Json.Obj
+      (base @ [ ("status", Json.Str "shed"); ("retry_after_ms", Json.Int retry_after_ms) ])
+  | Engine.Error msg ->
+    Json.Obj (base @ [ ("status", Json.Str "error"); ("message", Json.Str msg) ])
+
+let response_to_line r = Json.to_string (response_to_json r)

@@ -1,0 +1,39 @@
+(** NDJSON wire codec for the service.
+
+    One request per line.  Common fields (all optional unless noted):
+    ["id"] (string or number; defaults to the line number assigned by
+    the caller), ["client"] (default "anon"), ["priority"]
+    ("high"|"normal"|"low", default normal), ["platform"], ["cores"]
+    ([[a,b]] array or "a,b" string), ["seed"], ["trials"] (run
+    coordinates, decoded through {!Armb_platform.Run_config.of_kv}),
+    ["fault"] (intensity in [0,1], default 0).
+
+    Kind-specific fields (["kind"] is required):
+    - ["litmus"] | ["check"] | ["fix"]: ["test"] — catalogue test name
+      (case-insensitive).  ["fix"] also takes ["max_edits"] (default 3)
+      and ["budget"] (default 4000).
+    - ["model"]: ["mem_ops"] ("no-mem"|"st-st"|"ld-st"|"ld-ld"),
+      ["approach"] (a {!Armb_core.Ordering.named} spelling),
+      ["location"] (1|2), ["nops"], ["iters"].
+    - ["ring"]: ["combo"] (Figure 6(a) legend name), ["messages"].
+    - ["fuzz"]: ["tests"].
+
+    Responses are one JSON object per line: ["id"], ["client"],
+    ["status"] ("ok"|"shed"|"error"); ok responses add ["origin"]
+    ("cold"|"hit"|"coalesced"), ["key"], ["wall_us"], ["events"],
+    ["cycles"] and ["result"] (the canonical text rendering); shed adds
+    ["retry_after_ms"]; error adds ["message"]. *)
+
+val request_of_json :
+  ?default_id:string -> Json.t -> (Engine.request, string) result
+
+val request_of_line :
+  ?default_id:string -> string -> (Engine.request, string) result
+(** Parse + decode one NDJSON line. *)
+
+val response_to_json : Engine.response -> Json.t
+val response_to_line : Engine.response -> string
+(** One line, no trailing newline. *)
+
+val find_test : string -> Armb_litmus.Lang.test option
+(** Case-insensitive catalogue lookup (shared with the CLI). *)

@@ -1,0 +1,185 @@
+type priority = High | Normal | Low
+
+let priority_of_string s =
+  match String.lowercase_ascii s with
+  | "high" -> Some High
+  | "normal" -> Some Normal
+  | "low" -> Some Low
+  | _ -> None
+
+let priority_to_string = function High -> "high" | Normal -> "normal" | Low -> "low"
+
+let priority_index = function High -> 0 | Normal -> 1 | Low -> 2
+
+type request = { id : string; client : string; priority : priority; job : Job.t }
+
+type origin = Cold | Hit | Coalesced
+
+type reply =
+  | Result of { origin : origin; key : string; wall_us : int; result : Job.result }
+  | Shed of { retry_after_ms : int }
+  | Error of string
+
+type response = { id : string; client : string; reply : reply }
+
+(* One queued computation and everyone waiting on it.  [waiters] is in
+   arrival order; the head is the request that created the computation
+   (its response is [Cold]), the rest coalesced onto it. *)
+type computation = { key : string; job : Job.t; mutable waiters : request list }
+
+(* Per-(priority, client) FIFO lane.  Lanes are scanned round-robin
+   within a priority level, starting after the last lane served. *)
+type lane = { client : string; jobs : computation Queue.t }
+
+type level = { mutable lanes : lane list; mutable cursor : int }
+
+type t = {
+  cache : Job.result Cache.t option;
+  queue_bound : int;
+  coalesce : bool;
+  by_key : (string, computation) Hashtbl.t;
+  levels : level array;  (* indexed by priority_index *)
+  mutable queued : int;  (* distinct queued computations *)
+  metrics : Metrics.t;
+  mutable wall_us_total : int;  (* completed computation time, for retry hints *)
+  mutable computations_done : int;
+}
+
+let create ?(cache_cap = 512) ?(queue_bound = 256) ?(no_cache = false) () =
+  if queue_bound < 1 then invalid_arg "Engine.create: queue_bound must be >= 1";
+  {
+    cache = (if no_cache then None else Some (Cache.create ~cap:cache_cap));
+    queue_bound;
+    coalesce = not no_cache;
+    by_key = Hashtbl.create 64;
+    levels = Array.init 3 (fun _ -> { lanes = []; cursor = 0 });
+    queued = 0;
+    metrics = Metrics.create ();
+    wall_us_total = 0;
+    computations_done = 0;
+  }
+
+let pending t = t.queued
+let metrics t = t.metrics
+
+let retry_after_ms t =
+  (* expected time to drain the current queue, from the mean completed
+     computation cost; 50ms until we have measured anything *)
+  if t.computations_done = 0 then 50
+  else max 1 (t.queued * t.wall_us_total / t.computations_done / 1000)
+
+let lane_for level client =
+  match List.find_opt (fun l -> l.client = client) level.lanes with
+  | Some l -> l
+  | None ->
+    let l = { client; jobs = Queue.create () } in
+    level.lanes <- level.lanes @ [ l ];
+    l
+
+let submit t (req : request) =
+  Metrics.submitted t.metrics;
+  match Job.key req.job with
+  | exception e ->
+    Metrics.failed t.metrics;
+    Some { id = req.id; client = req.client; reply = Error (Printexc.to_string e) }
+  | key -> (
+    match Option.bind t.cache (fun c -> Cache.find c key) with
+    | Some result ->
+      Metrics.hit t.metrics;
+      Some
+        {
+          id = req.id;
+          client = req.client;
+          reply = Result { origin = Hit; key; wall_us = 0; result };
+        }
+    | None -> (
+      match (if t.coalesce then Hashtbl.find_opt t.by_key key else None) with
+      | Some comp ->
+        Metrics.coalesced t.metrics;
+        comp.waiters <- comp.waiters @ [ req ];
+        None
+      | None ->
+        if t.queued >= t.queue_bound then begin
+          Metrics.shed t.metrics;
+          Some
+            {
+              id = req.id;
+              client = req.client;
+              reply = Shed { retry_after_ms = retry_after_ms t };
+            }
+        end
+        else begin
+          Metrics.miss t.metrics;
+          let comp = { key; job = req.job; waiters = [ req ] } in
+          if t.coalesce then Hashtbl.replace t.by_key key comp;
+          let level = t.levels.(priority_index req.priority) in
+          Queue.push comp (lane_for level req.client).jobs;
+          t.queued <- t.queued + 1;
+          Metrics.observe_queue_depth t.metrics t.queued;
+          None
+        end))
+
+(* Pick the next computation: highest non-empty priority level, then
+   round-robin over that level's lanes starting after the last served. *)
+let next_computation t =
+  let rec from_level li =
+    if li >= Array.length t.levels then None
+    else begin
+      let level = t.levels.(li) in
+      let lanes = Array.of_list level.lanes in
+      let n = Array.length lanes in
+      let rec scan k =
+        if k >= n then from_level (li + 1)
+        else begin
+          let idx = (level.cursor + k) mod n in
+          let lane = lanes.(idx) in
+          match Queue.take_opt lane.jobs with
+          | Some comp ->
+            level.cursor <- (idx + 1) mod n;
+            Some comp
+          | None -> scan (k + 1)
+        end
+      in
+      if n = 0 then from_level (li + 1) else scan 0
+    end
+  in
+  from_level 0
+
+let execute t (comp : computation) =
+  let t0 = Unix.gettimeofday () in
+  let outcome = try Ok (Job.run comp.job) with e -> Result.Error e in
+  let wall_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+  if t.coalesce then Hashtbl.remove t.by_key comp.key;
+  t.queued <- t.queued - 1;
+  let waiters = comp.waiters in
+  match outcome with
+  | Ok result ->
+    Option.iter (fun c -> Cache.put c comp.key result) t.cache;
+    Metrics.record_latency_us t.metrics wall_us;
+    Metrics.completed t.metrics (List.length waiters);
+    Metrics.add_events t.metrics result.Job.events;
+    t.wall_us_total <- t.wall_us_total + wall_us;
+    t.computations_done <- t.computations_done + 1;
+    List.mapi
+      (fun i (req : request) ->
+        let origin = if i = 0 then Cold else Coalesced in
+        {
+          id = req.id;
+          client = req.client;
+          reply = Result { origin; key = comp.key; wall_us; result };
+        })
+      waiters
+  | Error e ->
+    Metrics.failed t.metrics;
+    let msg = Printexc.to_string e in
+    List.map
+      (fun (req : request) -> { id = req.id; client = req.client; reply = Error msg })
+      waiters
+
+let drain t =
+  let rec go acc =
+    match next_computation t with
+    | None -> List.rev acc
+    | Some comp -> go (List.rev_append (execute t comp) acc)
+  in
+  go []

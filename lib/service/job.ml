@@ -1,0 +1,163 @@
+module Lang = Armb_litmus.Lang
+module AM = Armb_core.Abstracted_model
+module RC = Armb_platform.Run_config
+module Sim = Armb_litmus.Sim_runner
+module Spsc = Armb_sync.Spsc_ring
+
+type spec =
+  | Litmus of Lang.test
+  | Check of Lang.test
+  | Model of {
+      label : string;
+      mem_ops : AM.mem_ops;
+      approach : Armb_core.Ordering.t;
+      location : AM.location;
+      nops : int;
+      iters : int;
+    }
+  | Ring of { combo : string; messages : int }
+  | Fuzz of { tests : int }
+  | Fix of { test : Lang.test; max_edits : int; budget : int }
+
+type t = { spec : spec; rc : RC.t; fault : float }
+
+type result = { text : string; events : int; cycles : int }
+
+let kind t =
+  match t.spec with
+  | Litmus _ -> "litmus"
+  | Check _ -> "check"
+  | Model _ -> "model"
+  | Ring _ -> "ring"
+  | Fuzz _ -> "fuzz"
+  | Fix _ -> "fix"
+
+let mem_ops_tag = function
+  | AM.No_mem -> "no-mem"
+  | AM.Store_store -> "st-st"
+  | AM.Load_store -> "ld-st"
+  | AM.Load_load -> "ld-ld"
+
+let location_tag = function AM.Loc1 -> 1 | AM.Loc2 -> 2
+
+let label t =
+  match t.spec with
+  | Litmus test -> "litmus " ^ test.Lang.name
+  | Check test -> "check " ^ test.Lang.name
+  | Model { label; mem_ops; nops; _ } ->
+    Printf.sprintf "model %s %s nops=%d" (mem_ops_tag mem_ops) label nops
+  | Ring { combo; messages } -> Printf.sprintf "ring %s n=%d" combo messages
+  | Fuzz { tests } -> Printf.sprintf "fuzz tests=%d" tests
+  | Fix { test; _ } -> "fix " ^ test.Lang.name
+
+(* The fault plan is reconstructed from (intensity, rc.seed) at run
+   time, so the key carries only the intensity — the seed is already a
+   key component. *)
+let key t =
+  let b = Buffer.create 1024 in
+  (match t.spec with
+  | Litmus test ->
+    Buffer.add_string b "litmus\n";
+    Buffer.add_string b (Key.canonical_test test)
+  | Check test ->
+    Buffer.add_string b "check\n";
+    Buffer.add_string b (Key.canonical_test test)
+  | Model { mem_ops; approach; location; nops; iters; label = _ } ->
+    Buffer.add_string b
+      (Printf.sprintf "model|%s|%s|%d|%d|%d\n" (mem_ops_tag mem_ops)
+         (Armb_core.Ordering.to_string approach)
+         (location_tag location) nops iters)
+  | Ring { combo; messages } ->
+    (* validate the combo name now so an unkeyable job fails at submit *)
+    ignore (Spsc.combo combo);
+    Buffer.add_string b (Printf.sprintf "ring|%s|%d\n" combo messages)
+  | Fuzz { tests } -> Buffer.add_string b (Printf.sprintf "fuzz|%d\n" tests)
+  | Fix { test; max_edits; budget } ->
+    Buffer.add_string b (Printf.sprintf "fix|%d|%d\n" max_edits budget);
+    Buffer.add_string b (Key.canonical_test test));
+  let a, bcore = t.rc.cores in
+  Buffer.add_string b
+    (Printf.sprintf "@%s|%d,%d|seed=%d|trials=%d|fault=%.6f"
+       t.rc.cfg.Armb_cpu.Config.name a bcore t.rc.seed t.rc.trials t.fault);
+  Key.digest (Buffer.contents b)
+
+let fault_plan t =
+  if t.fault <= 0.0 then None
+  else
+    Some
+      (Armb_fault.Plan.of_intensity ~seed:t.rc.seed
+         ~name:(Printf.sprintf "serve-%.2f" t.fault)
+         t.fault)
+
+let run t =
+  let rc = t.rc in
+  let fault = fault_plan t in
+  match t.spec with
+  | Litmus test ->
+    let r = Sim.run_rc ?fault rc test in
+    let b = Buffer.create 256 in
+    Buffer.add_string b
+      (Printf.sprintf "%s witnessed=%b\n" test.Lang.name r.Sim.interesting_witnessed);
+    List.iter
+      (fun (o, n) -> Buffer.add_string b (Printf.sprintf "  %d %s\n" n o))
+      r.Sim.outcomes;
+    { text = Buffer.contents b; events = r.Sim.events; cycles = r.Sim.cycles }
+  | Check test ->
+    let base, stripped =
+      Sim.check_test ~cfg:rc.cfg ~trials:rc.trials ~seed:rc.seed ?fault test
+    in
+    let row = Sim.check_row_of test ~base ~stripped in
+    let events =
+      base.Sim.events
+      + match stripped with Some r -> r.Sim.events | None -> 0
+    in
+    let cycles =
+      base.Sim.cycles
+      + match stripped with Some r -> r.Sim.cycles | None -> 0
+    in
+    { text = Format.asprintf "%a\n" Sim.pp_check_row row; events; cycles }
+  | Model { label; mem_ops; approach; location; nops; iters } ->
+    let spec =
+      { (AM.default_spec rc.cfg) with cores = rc.cores; mem_ops; approach; location; nops; iters }
+    in
+    if not (AM.valid spec) then
+      invalid_arg (Printf.sprintf "Job.run: invalid model combination %s" (AM.label spec));
+    let cycles, events = AM.run_stats spec in
+    let a, b = rc.cores in
+    {
+      text =
+        Printf.sprintf "%s %s (%d,%d) nops=%d cycles=%d\n" (mem_ops_tag mem_ops) label a b
+          nops cycles;
+      events;
+      cycles;
+    }
+  | Ring { combo; messages } ->
+    let spec =
+      { (Spsc.default_spec rc.cfg ~cores:rc.cores) with
+        messages;
+        barriers = Spsc.combo combo;
+        fault;
+      }
+    in
+    let r = Spsc.run spec in
+    {
+      text =
+        Format.asprintf "%s cycles=%d %a\n" combo r.Spsc.cycles Armb_mem.Memsys.pp_counters
+          r.Spsc.lines_touched;
+      events = 0;
+      cycles = r.Spsc.cycles;
+    }
+  | Fuzz { tests } ->
+    let r = Armb_litmus.Fuzz.run ?fault ~tests ~trials_per_test:rc.trials ~seed:rc.seed () in
+    {
+      text = Format.asprintf "%a@." Armb_litmus.Fuzz.pp_report r;
+      events = r.Armb_litmus.Fuzz.events;
+      cycles = 0;
+    }
+  | Fix { test; max_edits; budget } ->
+    let o = Armb_synth.Fix.fix_rc ~max_edits ~budget rc test in
+    {
+      text = Format.asprintf "%a@." Armb_synth.Report.pp_outcome o;
+      events = o.Armb_synth.Fix.oracle_calls;
+      cycles = 0;
+    }

@@ -1,0 +1,62 @@
+(** Jobs: the existing engines packaged as pure, content-addressed
+    computations.
+
+    A job pairs a [spec] (what to compute) with the {!Armb_platform.Run_config}
+    coordinates (where and how: platform, core binding, seed, trials)
+    and a fault intensity.  [run] is a pure function of the job — no
+    hidden state, no wall-clock dependence — so results can be memoized
+    and a cached result is bit-identical to a cold recomputation by
+    construction.  The canonical result [text] renderings deliberately
+    match the golden-digest workloads of [test_golden], which is how
+    the cache is verified against the seed kernel rather than merely
+    trusted. *)
+
+module Lang = Armb_litmus.Lang
+module AM = Armb_core.Abstracted_model
+
+type spec =
+  | Litmus of Lang.test
+      (** outcome histogram on the timing simulator ({!Armb_litmus.Sim_runner}) *)
+  | Check of Lang.test  (** happens-before sanitizer verdict row *)
+  | Model of {
+      label : string;  (** display name for the rendering (not keyed) *)
+      mem_ops : AM.mem_ops;
+      approach : Armb_core.Ordering.t;
+      location : AM.location;
+      nops : int;
+      iters : int;
+    }  (** one abstracted-model point (the Figure 3 axes) *)
+  | Ring of { combo : string; messages : int }
+      (** SPSC ring with a named barrier combination *)
+  | Fuzz of { tests : int }  (** one differential fuzz round *)
+  | Fix of { test : Lang.test; max_edits : int; budget : int }
+      (** fence synthesis ({!Armb_synth.Fix}) *)
+
+type t = {
+  spec : spec;
+  rc : Armb_platform.Run_config.t;
+  fault : float;  (** fault-plan intensity in [0,1]; 0 = no plan *)
+}
+
+type result = {
+  text : string;  (** canonical deterministic rendering *)
+  events : int;  (** kernel events processed (0 when not measurable) *)
+  cycles : int;  (** simulated cycles (0 when not measurable) *)
+}
+
+val key : t -> string
+(** Content address (hex digest): canonical test form ({!Key}), kind
+    tag, job parameters, platform name, cores, seed, trials and fault
+    intensity.  Raises on specs that cannot be keyed (unknown ring
+    combo). *)
+
+val kind : t -> string
+(** "litmus" | "check" | "model" | "ring" | "fuzz" | "fix". *)
+
+val label : t -> string
+(** Short human description for summary tables. *)
+
+val run : t -> result
+(** Execute the job.  Raises on invalid specs (e.g. a [Model]
+    combination {!AM.valid} rejects); the engine maps exceptions to
+    error responses. *)

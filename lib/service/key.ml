@@ -1,0 +1,144 @@
+module Lang = Armb_litmus.Lang
+module Enumerate = Armb_litmus.Enumerate
+
+(* Canonical renaming: shared variables in order of first appearance
+   scanning threads in program order (variables referenced only by the
+   init section follow, ordered by initial value — such variables are
+   interchangeable, so ties cannot change the serialization); registers
+   per thread in order of first occurrence (uses before definitions
+   included, since a use of a never-written register reads 0 and is
+   still part of the program's shape). *)
+
+let build_maps (t : Lang.test) =
+  let vmap : (string, string) Hashtbl.t = Hashtbl.create 8 in
+  let vnext = ref 0 in
+  let see_var v =
+    if not (Hashtbl.mem vmap v) then begin
+      Hashtbl.add vmap v (Printf.sprintf "v%d" !vnext);
+      incr vnext
+    end
+  in
+  let rmaps =
+    List.map
+      (fun th ->
+        let rmap : (string, string) Hashtbl.t = Hashtbl.create 8 in
+        let rnext = ref 0 in
+        let see_reg r =
+          if not (Hashtbl.mem rmap r) then begin
+            Hashtbl.add rmap r (Printf.sprintf "r%d" !rnext);
+            incr rnext
+          end
+        in
+        List.iter
+          (fun instr ->
+            (match instr with
+            | Lang.Load { var; _ } | Lang.Store { var; _ } -> see_var var
+            | Lang.Fence _ -> ());
+            match instr with
+            | Lang.Load { reg; addr_dep; _ } ->
+              Option.iter see_reg addr_dep;
+              see_reg reg
+            | Lang.Store { v; addr_dep; _ } -> (
+              Option.iter see_reg addr_dep;
+              match v with Lang.Reg r -> see_reg r | Lang.Const _ -> ())
+            | Lang.Fence _ -> ())
+          th;
+        rmap)
+      t.threads
+  in
+  (* init-only variables, ordered by initial value *)
+  let init_only =
+    List.filter (fun (v, _) -> not (Hashtbl.mem vmap v)) t.init
+    |> List.sort (fun (_, a) (_, b) -> Int64.compare a b)
+  in
+  List.iter (fun (v, _) -> see_var v) init_only;
+  (vmap, rmaps)
+
+let canonical_test (t : Lang.test) =
+  let vmap, rmaps = build_maps t in
+  let cvar v = try Hashtbl.find vmap v with Not_found -> "v?" ^ v in
+  let creg i r =
+    match List.nth_opt rmaps i with
+    | Some m -> ( try Hashtbl.find m r with Not_found -> "r?" ^ r)
+    | None -> "r?" ^ r
+  in
+  let b = Buffer.create 512 in
+  (* threads *)
+  List.iteri
+    (fun i th ->
+      Buffer.add_string b (Printf.sprintf "T%d|" i);
+      List.iter
+        (fun instr ->
+          (match instr with
+          | Lang.Load { var; reg; acquire; addr_dep } ->
+            Buffer.add_string b
+              (Printf.sprintf "L %s %s a%d d%s" (cvar var) (creg i reg)
+                 (if acquire then 1 else 0)
+                 (match addr_dep with Some r -> creg i r | None -> "-"))
+          | Lang.Store { var; v; release; addr_dep } ->
+            Buffer.add_string b
+              (Printf.sprintf "S %s %s l%d d%s" (cvar var)
+                 (match v with
+                 | Lang.Const k -> Printf.sprintf "c%Ld" k
+                 | Lang.Reg r -> creg i r)
+                 (if release then 1 else 0)
+                 (match addr_dep with Some r -> creg i r | None -> "-"))
+          | Lang.Fence f -> Buffer.add_string b ("F " ^ Lang.fence_to_string f));
+          Buffer.add_char b ';')
+        th;
+      Buffer.add_char b '\n')
+    t.threads;
+  (* init: every canonical variable with its (default-0) initial value,
+     sorted by canonical name — binding order and explicit zeros are
+     presentation *)
+  let inits =
+    Hashtbl.fold
+      (fun v cv acc ->
+        let x = match List.assoc_opt v t.init with Some x -> x | None -> 0L in
+        (cv, x) :: acc)
+      vmap []
+    |> List.sort compare
+  in
+  List.iter (fun (cv, x) -> Buffer.add_string b (Printf.sprintf "I %s=%Ld\n" cv x)) inits;
+  Buffer.add_string b (Printf.sprintf "E tso=%b wmm=%b\n" t.expect_tso t.expect_wmm);
+  (* predicate fingerprint: the [interesting] closure cannot be hashed,
+     but its extension over the reachable outcome set can — evaluate it
+     on every WMM-reachable outcome and serialize (renamed outcome,
+     verdict) pairs.  Renamed tests fingerprint identically; different
+     predicates over the same program cannot collide unless they agree
+     everywhere reachable (in which case the computations coincide). *)
+  let rename_binding (k, v) =
+    let canon =
+      match String.index_opt k ':' with
+      | Some colon -> (
+        let pre = String.sub k 0 colon in
+        let post = String.sub k (colon + 1) (String.length k - colon - 1) in
+        if pre = "mem" then "mem:" ^ cvar post
+        else
+          match int_of_string_opt pre with
+          | Some i -> Printf.sprintf "%d:%s" i (creg i post)
+          | None -> k)
+      | None -> k
+    in
+    (canon, v)
+  in
+  let fp =
+    List.map
+      (fun outcome ->
+        let lookup r =
+          match List.assoc_opt r outcome with Some v -> v | None -> 0L
+        in
+        let verdict = t.interesting lookup in
+        let renamed = List.sort compare (List.map rename_binding outcome) in
+        Printf.sprintf "O %s -> %b" (Enumerate.outcome_to_string renamed) verdict)
+      (Enumerate.enumerate Enumerate.Wmm t)
+    |> List.sort compare
+  in
+  List.iter
+    (fun line ->
+      Buffer.add_string b line;
+      Buffer.add_char b '\n')
+    fp;
+  Buffer.contents b
+
+let digest s = Digest.to_hex (Digest.string s)

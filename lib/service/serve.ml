@@ -1,0 +1,243 @@
+module Rng = Armb_sim.Rng
+
+let emit oc (r : Engine.response) =
+  output_string oc (Codec.response_to_line r);
+  output_char oc '\n'
+
+(* ---------- streaming mode ---------- *)
+
+let serve ?(drain_every = 16) engine ic oc =
+  let lineno = ref 0 in
+  let drain () = List.iter (emit oc) (Engine.drain engine) in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if String.trim line <> "" then begin
+         (match Codec.request_of_line ~default_id:(string_of_int !lineno) line with
+         | Error e ->
+           emit oc
+             {
+               Engine.id = string_of_int !lineno;
+               client = "anon";
+               reply = Engine.Error e;
+             }
+         | Ok req -> (
+           match Engine.submit engine req with
+           | Some resp -> emit oc resp
+           | None -> ()));
+         flush oc;
+         if Engine.pending engine >= drain_every then begin
+           drain ();
+           flush oc
+         end
+       end
+     done
+   with End_of_file -> ());
+  drain ();
+  flush oc
+
+(* ---------- one-shot batch mode ---------- *)
+
+type batch = { responses : Engine.response list; wall_s : float }
+
+let run_batch engine ~lines =
+  let t0 = Unix.gettimeofday () in
+  let items =
+    List.mapi (fun i line -> (i, line)) lines
+    |> List.filter (fun (_, line) -> String.trim line <> "")
+  in
+  let slots : Engine.response option array = Array.make (List.length items) None in
+  (* ids are caller-chosen and may repeat: map id -> FIFO of slot
+     indices still waiting for a drained response under that id *)
+  let waiting : (string, int Queue.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iteri
+    (fun slot (lineno, line) ->
+      let default_id = string_of_int (lineno + 1) in
+      match Codec.request_of_line ~default_id line with
+      | Error e ->
+        slots.(slot) <-
+          Some { Engine.id = default_id; client = "anon"; reply = Engine.Error e }
+      | Ok req -> (
+        match Engine.submit engine req with
+        | Some resp -> slots.(slot) <- Some resp
+        | None ->
+          let q =
+            match Hashtbl.find_opt waiting req.Engine.id with
+            | Some q -> q
+            | None ->
+              let q = Queue.create () in
+              Hashtbl.add waiting req.Engine.id q;
+              q
+          in
+          Queue.push slot q))
+    items;
+  List.iter
+    (fun (resp : Engine.response) ->
+      match Hashtbl.find_opt waiting resp.Engine.id with
+      | Some q when not (Queue.is_empty q) -> slots.(Queue.pop q) <- Some resp
+      | _ -> ())
+    (Engine.drain engine);
+  let responses = List.filter_map Fun.id (Array.to_list slots) in
+  { responses; wall_s = Unix.gettimeofday () -. t0 }
+
+(* ---------- warm vs cold ---------- *)
+
+type comparison = {
+  cold : batch;
+  warm : batch;
+  cold_metrics : Metrics.t;
+  warm_metrics : Metrics.t;
+  identical : bool;
+  speedup : float;
+}
+
+let signature (r : Engine.response) =
+  match r.Engine.reply with
+  | Engine.Result { result; _ } -> ("ok", result.Job.text)
+  | Engine.Shed _ -> ("shed", "")
+  | Engine.Error m -> ("error", m)
+
+let compare_cold ?(cache_cap = 512) ?queue_bound ~lines () =
+  let queue_bound =
+    match queue_bound with Some b -> b | None -> max 256 (List.length lines)
+  in
+  let cold_engine = Engine.create ~queue_bound ~no_cache:true () in
+  let warm_engine = Engine.create ~cache_cap ~queue_bound () in
+  let cold = run_batch cold_engine ~lines in
+  let warm = run_batch warm_engine ~lines in
+  let identical =
+    List.length cold.responses = List.length warm.responses
+    && List.for_all2
+         (fun a b -> signature a = signature b)
+         cold.responses warm.responses
+  in
+  let speedup = if warm.wall_s > 0. then cold.wall_s /. warm.wall_s else 0. in
+  {
+    cold;
+    warm;
+    cold_metrics = Engine.metrics cold_engine;
+    warm_metrics = Engine.metrics warm_engine;
+    identical;
+    speedup;
+  }
+
+(* ---------- deterministic demo batch ---------- *)
+
+let demo_pool () =
+  let tests = Armb_litmus.Catalogue.all in
+  let take n l = List.filteri (fun i _ -> i < n) l in
+  let litmus =
+    List.map
+      (fun (t : Armb_litmus.Lang.test) ->
+        [
+          ("kind", Json.Str "litmus");
+          ("test", Json.Str t.Armb_litmus.Lang.name);
+          ("trials", Json.Int 20);
+          ("seed", Json.Int 42);
+        ])
+      tests
+  in
+  let check =
+    List.map
+      (fun (t : Armb_litmus.Lang.test) ->
+        [
+          ("kind", Json.Str "check");
+          ("test", Json.Str t.Armb_litmus.Lang.name);
+          ("trials", Json.Int 8);
+          ("seed", Json.Int 5);
+        ])
+      (take 8 tests)
+  in
+  let ring =
+    List.map
+      (fun (combo, messages) ->
+        [
+          ("kind", Json.Str "ring");
+          ("combo", Json.Str combo);
+          ("messages", Json.Int messages);
+        ])
+      [
+        ("DMB full - DMB full", 300);
+        ("DMB ld - DMB st", 300);
+        ("LDAR - DMB st", 300);
+        ("DMB ld - No Barrier", 300);
+        ("DMB full - DMB st", 400);
+        ("DMB full - STLR", 400);
+      ]
+  in
+  let model =
+    List.concat_map
+      (fun approach ->
+        List.map
+          (fun nops ->
+            [
+              ("kind", Json.Str "model");
+              ("mem_ops", Json.Str "st-st");
+              ("approach", Json.Str approach);
+              ("location", Json.Int 1);
+              ("nops", Json.Int nops);
+              ("iters", Json.Int 300);
+            ])
+          [ 100; 500 ])
+      [ "none"; "dmb"; "dmb-st"; "stlr" ]
+  in
+  let fuzz =
+    [
+      [ ("kind", Json.Str "fuzz"); ("tests", Json.Int 3); ("trials", Json.Int 20); ("seed", Json.Int 7) ];
+      [ ("kind", Json.Str "fuzz"); ("tests", Json.Int 5); ("trials", Json.Int 15); ("seed", Json.Int 9) ];
+    ]
+  in
+  litmus @ check @ ring @ model @ fuzz
+
+let demo_requests ?(pool = 40) ~requests ~seed () =
+  let entries = Array.of_list (demo_pool ()) in
+  let n = min pool (Array.length entries) in
+  let rng = Rng.create seed in
+  let clients = [| "alice"; "bob"; "carol" |] in
+  List.init requests (fun i ->
+      let fields = entries.(Rng.int rng n) in
+      let client = clients.(Rng.int rng (Array.length clients)) in
+      let priority =
+        match Rng.int rng 8 with 0 -> "high" | 1 -> "low" | _ -> "normal"
+      in
+      Json.to_string
+        (Json.Obj
+           (("id", Json.Str (string_of_int (i + 1)))
+           :: ("client", Json.Str client)
+           :: ("priority", Json.Str priority)
+           :: fields)))
+
+(* ---------- summary ---------- *)
+
+let summary (b : batch) (m : Metrics.t) =
+  let count f = List.length (List.filter f b.responses) in
+  let by_origin o (r : Engine.response) =
+    match r.Engine.reply with
+    | Engine.Result { origin; _ } -> origin = o
+    | _ -> false
+  in
+  let shed (r : Engine.response) =
+    match r.Engine.reply with Engine.Shed _ -> true | _ -> false
+  in
+  let error (r : Engine.response) =
+    match r.Engine.reply with Engine.Error _ -> true | _ -> false
+  in
+  let p50, p99 = Metrics.latency_us m in
+  let bb = Buffer.create 512 in
+  Buffer.add_string bb
+    (Printf.sprintf "%-12s %6d   (%.3f s wall)\n" "requests"
+       (List.length b.responses) b.wall_s);
+  Buffer.add_string bb
+    (Printf.sprintf "%-12s %6d\n" "computed" (count (by_origin Engine.Cold)));
+  Buffer.add_string bb
+    (Printf.sprintf "%-12s %6d\n" "cache hits" (count (by_origin Engine.Hit)));
+  Buffer.add_string bb
+    (Printf.sprintf "%-12s %6d\n" "coalesced" (count (by_origin Engine.Coalesced)));
+  Buffer.add_string bb (Printf.sprintf "%-12s %6d\n" "shed" (count shed));
+  Buffer.add_string bb (Printf.sprintf "%-12s %6d\n" "errors" (count error));
+  Buffer.add_string bb
+    (Printf.sprintf "%-12s %6.3f\n" "hit rate" (Metrics.hit_rate m));
+  Buffer.add_string bb
+    (Printf.sprintf "%-12s p50=%dus p99=%dus\n" "latency" p50 p99);
+  Buffer.contents bb

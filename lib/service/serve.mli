@@ -1,0 +1,54 @@
+(** Front ends over {!Engine}: the NDJSON streaming loop behind
+    [armb serve], the one-shot batch runner behind [armb serve --batch]
+    / [armb batch], the deterministic duplicate-heavy demo batch the CI
+    smoke and the perf harness share, and the warm-vs-cold comparison
+    that verifies the cache instead of trusting it. *)
+
+val serve :
+  ?drain_every:int -> Engine.t -> in_channel -> out_channel -> unit
+(** Streaming mode: read one JSON request per line, write one JSON
+    response per line.  Immediate answers (hits, sheds, errors) are
+    emitted as soon as the request is read; queued work is drained
+    whenever [drain_every] (default 16) computations are pending and at
+    end of input, so identical requests arriving close together
+    coalesce.  Returns on EOF with every response written and flushed
+    (clean shutdown). *)
+
+type batch = {
+  responses : Engine.response list;  (** in input order *)
+  wall_s : float;  (** submit + drain time for the whole batch *)
+}
+
+val run_batch : Engine.t -> lines:string list -> batch
+(** One-shot mode: submit every request (admission control — shedding —
+    applies at submit time, so a bounded queue sheds rather than
+    stalls), then drain.  Blank lines are skipped; unparseable lines
+    produce error responses.  Requests without an ["id"] get their
+    1-based line number. *)
+
+type comparison = {
+  cold : batch;  (** computed by a [no_cache] engine: every request runs *)
+  warm : batch;  (** computed by a caching engine: duplicates hit/coalesce *)
+  cold_metrics : Metrics.t;
+  warm_metrics : Metrics.t;
+  identical : bool;  (** ok-response result texts agree request-by-request *)
+  speedup : float;  (** cold wall / warm wall *)
+}
+
+val compare_cold :
+  ?cache_cap:int -> ?queue_bound:int -> lines:string list -> unit -> comparison
+(** Run the same batch through a cacheless engine and a caching engine
+    and compare byte-for-byte — the determinism oracle for the memo
+    cache, and the speedup measurement the CI gate asserts on. *)
+
+val demo_requests : ?pool:int -> requests:int -> seed:int -> unit -> string list
+(** A deterministic duplicate-heavy request batch: [requests] NDJSON
+    lines drawn uniformly from a pool of [pool] (default 40) distinct
+    jobs over the litmus catalogue, sanitizer, abstracted model, SPSC
+    ring and fuzzer, spread over three clients and all three
+    priorities.  With the defaults, at least half the lines duplicate
+    an earlier one. *)
+
+val summary : batch -> Metrics.t -> string
+(** Human summary table: totals by status/origin, hit rate, latency
+    percentiles. *)

@@ -180,3 +180,9 @@ let find_test name =
   List.find_opt
     (fun (t : Lang.test) -> String.lowercase_ascii t.Lang.name = lower)
     Catalogue.all
+
+(* Service entry point: trials and seed from one validated Run_config
+   (the platform sweep in [Cost.measure] still covers every calibrated
+   platform — rc picks the seed/trials coordinates only). *)
+let fix_rc ?max_edits ?budget (rc : Armb_platform.Run_config.t) t =
+  fix ?max_edits ?budget ~trials:rc.trials ~seed:rc.seed t

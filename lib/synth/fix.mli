@@ -83,3 +83,9 @@ val catalogue_round_trips :
 
 val find_test : string -> Lang.test option
 (** Catalogue lookup by (case-insensitive) name. *)
+
+val fix_rc :
+  ?max_edits:int -> ?budget:int -> Armb_platform.Run_config.t -> Lang.test -> outcome
+(** {!fix} with trials and seed drawn from a validated
+    {!Armb_platform.Run_config} — the pure entry point the job-service
+    engine memoizes. *)
