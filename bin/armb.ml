@@ -683,6 +683,7 @@ let trace_cmd =
 
 module Engine = Armb_service.Engine
 module Serve = Armb_service.Serve
+module Shard = Armb_service.Shard
 module Codec = Armb_service.Codec
 module Json = Armb_service.Json
 module Metrics = Armb_service.Metrics
@@ -709,6 +710,12 @@ let metrics_out =
            ~doc:"Write the engine's metrics JSON (schema armb-serve-metrics-v1) to \
                  FILE on exit.")
 
+let domains_arg =
+  Arg.(value & opt int 1
+       & info [ "domains" ] ~docv:"N"
+           ~doc:"Shard the engine across N worker domains (consistent-hash routing, \
+                 per-domain memo caches).  1 keeps the single-domain engine.")
+
 let dump_metrics engine = function
   | None -> ()
   | Some path ->
@@ -727,26 +734,54 @@ let serve_cmd =
              ~doc:"Streaming mode: run queued computations whenever N are pending \
                    (and at end of input).")
   in
-  let run no_cache queue_bound cache_cap drain_every batch_file metrics_out =
+  let run no_cache queue_bound cache_cap drain_every domains batch_file metrics_out =
     if queue_bound < 1 then begin
       Printf.eprintf "armb serve: --queue-bound must be >= 1\n";
       exit 2
     end;
-    let engine = Engine.create ~cache_cap ~queue_bound ~no_cache () in
-    (match batch_file with
-    | None -> Serve.serve ~drain_every engine stdin stdout
-    | Some f ->
-      let b = Serve.run_batch engine ~lines:(read_lines f) in
-      List.iter (fun r -> print_endline (Codec.response_to_line r)) b.Serve.responses);
-    dump_metrics engine metrics_out
+    if domains < 1 then begin
+      Printf.eprintf "armb serve: --domains must be >= 1\n";
+      exit 2
+    end;
+    if domains = 1 then begin
+      let engine = Engine.create ~cache_cap ~queue_bound ~no_cache () in
+      (match batch_file with
+      | None -> Serve.serve ~drain_every engine stdin stdout
+      | Some f ->
+        let b = Serve.run_batch engine ~lines:(read_lines f) in
+        List.iter (fun r -> print_endline (Codec.response_to_line r)) b.Serve.responses);
+      dump_metrics engine metrics_out
+    end
+    else begin
+      let pool =
+        match batch_file with
+        | None -> Shard.create ~domains ~cache_cap ~queue_bound ~no_cache ~drain_every ()
+        | Some _ ->
+          (* batch drain policy: hold queued work until the drain barrier
+             so duplicates coalesce as they do on one domain *)
+          Shard.create ~domains ~cache_cap ~queue_bound ~no_cache ()
+      in
+      (match batch_file with
+      | None -> Shard.serve pool stdin stdout
+      | Some f ->
+        let b = Shard.run_batch pool ~lines:(read_lines f) in
+        List.iter (fun r -> print_endline (Codec.response_to_line r)) b.Serve.responses);
+      let stray = Shard.shutdown pool in
+      List.iter (fun r -> print_endline (Codec.response_to_line r)) stray;
+      match metrics_out with
+      | None -> ()
+      | Some path ->
+        write_out path (Json.to_string (Metrics.to_json (Shard.metrics pool)) ^ "\n")
+    end
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Job service: newline-delimited JSON requests in, responses out, with \
              content-addressed memoization, request coalescing, fair-share priority \
-             scheduling and load shedding.")
-    Term.(const run $ no_cache $ queue_bound $ cache_cap $ drain_every $ batch_file
-          $ metrics_out)
+             scheduling and load shedding; $(b,--domains) shards it across OCaml 5 \
+             domains.")
+    Term.(const run $ no_cache $ queue_bound $ cache_cap $ drain_every $ domains_arg
+          $ batch_file $ metrics_out)
 
 let batch_cmd =
   let file =
@@ -766,11 +801,35 @@ let batch_cmd =
     Arg.(value & opt int 7
          & info [ "demo-seed" ] ~docv:"N" ~doc:"Demo batch RNG seed (with $(b,--make-demo)).")
   in
+  let zipf =
+    Arg.(value & flag
+         & info [ "zipf" ]
+             ~doc:"With $(b,--make-demo): draw jobs Zipf-distributed over the pool \
+                   (hot keys dominate) from 64 clients instead of uniformly from 3.")
+  in
+  let alpha =
+    Arg.(value & opt float 1.1
+         & info [ "alpha" ] ~docv:"A"
+             ~doc:"With $(b,--zipf): the Zipf skew exponent (higher = hotter head).")
+  in
   let compare_cold =
     Arg.(value & flag
          & info [ "compare-cold" ]
              ~doc:"Run the batch through a cacheless engine and a caching engine, \
                    verify the responses are byte-identical, and report the speedup.")
+  in
+  let compare_single =
+    Arg.(value & flag
+         & info [ "compare-single" ]
+             ~doc:"Run the batch through one engine and through a pool of \
+                   $(b,--domains) shards, verify the response signatures are \
+                   identical slot-by-slot, and report the speedup.")
+  in
+  let min_coalesced =
+    Arg.(value & opt int 0
+         & info [ "min-coalesced" ] ~docv:"N"
+             ~doc:"With $(b,--compare-single): fail unless the sharded run coalesced \
+                   at least N requests (0 disables the gate).")
   in
   let min_speedup =
     Arg.(value & opt float 0.0
@@ -782,10 +841,14 @@ let batch_cmd =
     Arg.(value & opt (some string) None
          & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Also write the responses NDJSON to FILE.")
   in
-  let run file make_demo requests demo_seed compare_cold min_speedup no_cache
-      queue_bound cache_cap out metrics_out =
+  let run file make_demo requests demo_seed zipf alpha compare_cold compare_single
+      min_speedup min_coalesced domains no_cache queue_bound cache_cap out
+      metrics_out =
     if make_demo then begin
-      let lines = Serve.demo_requests ~requests ~seed:demo_seed () in
+      let lines =
+        if zipf then Serve.zipf_requests ~alpha ~requests ~seed:demo_seed ()
+        else Serve.demo_requests ~requests ~seed:demo_seed ()
+      in
       write_out file (String.concat "\n" lines ^ "\n")
     end
     else begin
@@ -818,6 +881,46 @@ let batch_cmd =
           exit 1
         end
       end
+      else if compare_single then begin
+        let domains = max 2 domains in
+        let c = Shard.compare_single ~cache_cap ~domains ~lines () in
+        Printf.printf "== single (1 domain) ==\n%s\n"
+          (Serve.summary c.Shard.single c.Shard.single_metrics);
+        Printf.printf "== sharded (%d domains) ==\n%s\n" domains
+          (Serve.summary c.Shard.sharded c.Shard.sharded_metrics);
+        Printf.printf "identical: %b\ncoalesced: %d\nspeedup: %.2fx\n"
+          c.Shard.identical c.Shard.coalesced c.Shard.speedup;
+        (match out with
+        | None -> ()
+        | Some path -> write_out path (responses_text c.Shard.sharded));
+        (match metrics_out with
+        | None -> ()
+        | Some path ->
+          write_out path
+            (Json.to_string (Metrics.to_json c.Shard.sharded_metrics) ^ "\n"));
+        if not c.Shard.identical then begin
+          Printf.eprintf "armb batch: sharded responses differ from single-domain\n";
+          exit 1
+        end;
+        if min_coalesced > 0 && c.Shard.coalesced < min_coalesced then begin
+          Printf.eprintf "armb batch: coalesced %d below required %d\n"
+            c.Shard.coalesced min_coalesced;
+          exit 1
+        end
+      end
+      else if domains > 1 then begin
+        let pool = Shard.create ~domains ~cache_cap ~queue_bound ~no_cache () in
+        let b = Shard.run_batch pool ~lines in
+        ignore (Shard.shutdown pool);
+        print_string (Serve.summary b (Shard.metrics pool));
+        (match out with
+        | None -> ()
+        | Some path -> write_out path (responses_text b));
+        match metrics_out with
+        | None -> ()
+        | Some path ->
+          write_out path (Json.to_string (Metrics.to_json (Shard.metrics pool)) ^ "\n")
+      end
       else begin
         let engine = Engine.create ~cache_cap ~queue_bound ~no_cache () in
         let b = Serve.run_batch engine ~lines in
@@ -832,11 +935,14 @@ let batch_cmd =
   Cmd.v
     (Cmd.info "batch"
        ~doc:"Client convenience over the job service: run an NDJSON request file \
-             through an engine and print a summary table; optionally verify the memo \
-             cache against a cold run ($(b,--compare-cold)) or generate a demo batch \
-             ($(b,--make-demo)).")
-    Term.(const run $ file $ make_demo $ requests $ demo_seed $ compare_cold
-          $ min_speedup $ no_cache $ queue_bound $ cache_cap $ out $ metrics_out)
+             through an engine (optionally sharded with $(b,--domains)) and print a \
+             summary table; verify the memo cache against a cold run \
+             ($(b,--compare-cold)), verify sharding against one domain \
+             ($(b,--compare-single)), or generate a demo batch ($(b,--make-demo), \
+             optionally $(b,--zipf)).")
+    Term.(const run $ file $ make_demo $ requests $ demo_seed $ zipf $ alpha
+          $ compare_cold $ compare_single $ min_speedup $ min_coalesced $ domains_arg
+          $ no_cache $ queue_bound $ cache_cap $ out $ metrics_out)
 
 let () =
   let doc = "ARM barrier characterization and optimization toolkit (PPoPP'20 reproduction)" in

@@ -130,6 +130,37 @@ let serve_warm ~requests =
   ignore (Service.Serve.run_batch engine ~lines : Service.Serve.batch);
   fun () -> served (Service.Serve.run_batch engine ~lines)
 
+(* The sharded service over the Zipf-skewed batch: serve-zipf-warm is
+   the single-domain baseline on the same traffic the shard pool gets,
+   so the sharded/single ratio isolates the domain layer from the
+   traffic shape.  serve-sharded-cold includes pool spawn + shutdown
+   (the deployment cost); serve-sharded-warm times a second batch
+   against already-warm shard caches, pool construction and the warming
+   pass outside the timed region.  On hosts with fewer cores than
+   domains these measure time-slicing overhead, not scaling — the
+   scaling table in EXPERIMENTS.md records both. *)
+let serve_zipf_warm ~requests =
+  let lines = Service.Serve.zipf_requests ~requests ~seed:11 () in
+  let engine = Service.Engine.create ~queue_bound:(max 256 requests) () in
+  ignore (Service.Serve.run_batch engine ~lines : Service.Serve.batch);
+  fun () -> served (Service.Serve.run_batch engine ~lines)
+
+let serve_sharded_cold ~domains ~requests () =
+  let lines = Service.Serve.zipf_requests ~requests ~seed:11 () in
+  let pool = Service.Shard.create ~domains ~queue_bound:(max 256 requests) () in
+  let events = served (Service.Shard.run_batch pool ~lines) in
+  ignore (Service.Shard.shutdown pool : Service.Engine.response list);
+  events
+
+(* The warm pool outlives the measurement (the process exits right
+   after); keep sharded workloads last so idle shards never overlap a
+   timed region. *)
+let serve_sharded_warm ~domains ~requests =
+  let lines = Service.Serve.zipf_requests ~requests ~seed:11 () in
+  let pool = Service.Shard.create ~domains ~queue_bound:(max 256 requests) () in
+  ignore (Service.Shard.run_batch pool ~lines : Service.Serve.batch);
+  fun () -> served (Service.Shard.run_batch pool ~lines)
+
 (* ---------- harness ---------- *)
 
 let time f =
@@ -161,6 +192,9 @@ let run ?(quick = false) ?fault ?(progress = fun _ -> ()) () =
         ("fuzz-round", fuzz_round ?fault ~tests:30 ~trials_per_test:120);
         ("serve-cold", serve_cold ~requests:120);
         ("serve-warm", serve_warm ~requests:120);
+        ("serve-zipf-warm", serve_zipf_warm ~requests:120);
+        ("serve-sharded-cold", serve_sharded_cold ~domains:2 ~requests:120);
+        ("serve-sharded-warm", serve_sharded_warm ~domains:2 ~requests:120);
       ]
     else
       [
@@ -170,6 +204,9 @@ let run ?(quick = false) ?fault ?(progress = fun _ -> ()) () =
         ("fuzz-round", fuzz_round ?fault ~tests:60 ~trials_per_test:150);
         ("serve-cold", serve_cold ~requests:400);
         ("serve-warm", serve_warm ~requests:400);
+        ("serve-zipf-warm", serve_zipf_warm ~requests:400);
+        ("serve-sharded-cold", serve_sharded_cold ~domains:4 ~requests:400);
+        ("serve-sharded-warm", serve_sharded_warm ~domains:4 ~requests:400);
       ]
   in
   let samples =

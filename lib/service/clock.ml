@@ -1,0 +1,17 @@
+(* The engine used to time computations with raw [Unix.gettimeofday];
+   an NTP step or manual clock change between the two samples produced
+   a *negative* wall_us, which then corrupted wall_us_total (the
+   retry-after estimator), the latency histogram and every summary
+   derived from them.  This clock monotonizes the source: readings
+   never go backwards, so intervals are >= 0 by construction. *)
+
+type t = { source : unit -> float; mutable last_us : int }
+
+let create ?(source = Unix.gettimeofday) () = { source; last_us = min_int }
+
+let now_us t =
+  let raw = int_of_float (t.source () *. 1e6) in
+  if raw > t.last_us then t.last_us <- raw;
+  t.last_us
+
+let elapsed_us t ~since = max 0 (now_us t - since)

@@ -46,11 +46,14 @@ type response = { id : string; client : string; reply : reply }
 
 type t
 
-val create : ?cache_cap:int -> ?queue_bound:int -> ?no_cache:bool -> unit -> t
+val create :
+  ?cache_cap:int -> ?queue_bound:int -> ?no_cache:bool -> ?clock:Clock.t -> unit -> t
 (** Defaults: cache capacity 512 results, queue bound 256 distinct
     computations.  [no_cache] disables {e both} memoization and
     coalescing — every request computes (the baseline the cache's
-    speedup is measured against). *)
+    speedup is measured against).  [clock] injects the monotonic time
+    source computations are timed with (tests step it
+    deterministically; the default reads the system clock). *)
 
 val submit : t -> request -> response option
 (** [Some] for an immediate answer (cache hit, shed, or a request that
@@ -64,4 +67,16 @@ val drain : t -> response list
 val pending : t -> int
 (** Distinct computations currently queued. *)
 
+val live_lanes : t -> int
+(** Scheduler lanes currently registered, across all priority levels.
+    Bounded by the number of (priority, client) pairs with queued work:
+    a drained lane retires, so client churn cannot grow the scheduler
+    (the regression the lane-index rewrite pins down). *)
+
 val metrics : t -> Metrics.t
+
+val totals : t -> int * int
+(** [(computations_done, wall_us_total)] — the completed-work account
+    behind retry-after hints.  The sharded router folds every shard's
+    totals into one delegated cell so its hints reflect global
+    progress. *)

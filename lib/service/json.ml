@@ -122,22 +122,58 @@ let of_string s =
           Buffer.add_char b '\012';
           go ()
         | 'u' ->
-          if !pos + 4 > n then fail "short \\u escape";
-          let hex = String.sub s !pos 4 in
-          pos := !pos + 4;
-          let code =
-            match int_of_string_opt ("0x" ^ hex) with
-            | Some c -> c
-            | None -> fail "bad \\u escape"
+          (* [int_of_string_opt "0x…"] accepted underscores inside the
+             four "hex" digits; scan them strictly instead. *)
+          let hex4 () =
+            if !pos + 4 > n then fail "short \\u escape";
+            let v = ref 0 in
+            for _ = 1 to 4 do
+              let d =
+                match s.[!pos] with
+                | '0' .. '9' as c -> Char.code c - Char.code '0'
+                | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+                | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+                | _ -> fail "bad \\u escape"
+              in
+              v := (!v lsl 4) lor d;
+              advance ()
+            done;
+            !v
           in
-          (* UTF-8 encode the code point (surrogates passed through raw) *)
+          let code = hex4 () in
+          (* a high surrogate must pair with a following low surrogate;
+             the pair combines into one supplementary code point instead
+             of two raw unpaired triplets *)
+          let code =
+            if code >= 0xD800 && code <= 0xDBFF then begin
+              if
+                !pos + 2 > n
+                || s.[!pos] <> '\\'
+                || s.[!pos + 1] <> 'u'
+              then fail "unpaired high surrogate";
+              pos := !pos + 2;
+              let low = hex4 () in
+              if low < 0xDC00 || low > 0xDFFF then fail "unpaired high surrogate";
+              0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00)
+            end
+            else if code >= 0xDC00 && code <= 0xDFFF then
+              fail "unpaired low surrogate"
+            else code
+          in
+          (* UTF-8 encode the code point *)
           if code < 0x80 then Buffer.add_char b (Char.chr code)
           else if code < 0x800 then begin
             Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
             Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
           end
-          else begin
+          else if code < 0x10000 then begin
             Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+            Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+            Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+          end
+          else begin
+            Buffer.add_char b (Char.chr (0xF0 lor (code lsr 18)));
+            Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
             Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
             Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
           end;
@@ -149,6 +185,38 @@ let of_string s =
     in
     go ()
   in
+  (* The JSON number grammar, checked explicitly: an optional minus, an
+     integer part without leading zeros, an optional ".digits" fraction
+     and an optional "[eE][+-]digits" exponent.  [int_of_string_opt]
+     alone accepted "+5", "0x1f", "1_000" and leading zeros — none of
+     which are JSON. *)
+  let valid_number tok =
+    let m = String.length tok in
+    let p = ref 0 in
+    let digits () =
+      let start = !p in
+      while !p < m && (match tok.[!p] with '0' .. '9' -> true | _ -> false) do
+        incr p
+      done;
+      !p > start
+    in
+    let ok = ref true in
+    if !p < m && tok.[!p] = '-' then incr p;
+    (match if !p < m then Some tok.[!p] else None with
+    | Some '0' -> incr p (* a leading 0 must stand alone *)
+    | Some ('1' .. '9') -> ignore (digits ())
+    | _ -> ok := false);
+    if !ok && !p < m && tok.[!p] = '.' then begin
+      incr p;
+      if not (digits ()) then ok := false
+    end;
+    if !ok && !p < m && (tok.[!p] = 'e' || tok.[!p] = 'E') then begin
+      incr p;
+      if !p < m && (tok.[!p] = '+' || tok.[!p] = '-') then incr p;
+      if not (digits ()) then ok := false
+    end;
+    !ok && !p = m
+  in
   let parse_number () =
     let start = !pos in
     let is_num_char = function
@@ -159,12 +227,22 @@ let of_string s =
       advance ()
     done;
     let tok = String.sub s start (!pos - start) in
-    match int_of_string_opt tok with
-    | Some i -> Int i
-    | None -> (
+    if not (valid_number tok) then fail (Printf.sprintf "bad number %S" tok);
+    let has_frac =
+      String.exists (function '.' | 'e' | 'E' -> true | _ -> false) tok
+    in
+    if has_frac then
       match float_of_string_opt tok with
       | Some f -> Float f
-      | None -> fail (Printf.sprintf "bad number %S" tok))
+      | None -> fail (Printf.sprintf "bad number %S" tok)
+    else
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> (
+        (* magnitude beyond the int range: keep the value, lose precision *)
+        match float_of_string_opt tok with
+        | Some f -> Float f
+        | None -> fail (Printf.sprintf "bad number %S" tok))
   in
   let rec parse_value () =
     skip_ws ();

@@ -37,20 +37,78 @@ let serve ?(drain_every = 16) engine ic oc =
   drain ();
   flush oc
 
+(* ---------- slot bookkeeping ---------- *)
+
+(* Requests answered by a later drain are matched back to their input
+   slot by id.  Ids are caller-chosen and may repeat, so each id keys a
+   FIFO of slot indices; drain order within an id is submission order.
+   The map also remembers each slot's id so unanswered slots can be
+   surfaced instead of silently vanishing. *)
+module Slot_map = struct
+  type t = {
+    waiting : (string, int Queue.t) Hashtbl.t;
+    mutable expected : int;  (* slots still waiting for a response *)
+  }
+
+  let create () = { waiting = Hashtbl.create 64; expected = 0 }
+
+  let expect t ~id ~slot =
+    let q =
+      match Hashtbl.find_opt t.waiting id with
+      | Some q -> q
+      | None ->
+        let q = Queue.create () in
+        Hashtbl.add t.waiting id q;
+        q
+    in
+    Queue.push slot q;
+    t.expected <- t.expected + 1
+
+  let resolve t ~id =
+    match Hashtbl.find_opt t.waiting id with
+    | Some q when not (Queue.is_empty q) ->
+      t.expected <- t.expected - 1;
+      Some (Queue.pop q)
+    | _ -> None
+
+  let pending t = t.expected
+
+  let leftovers t =
+    Hashtbl.fold
+      (fun id q acc -> Queue.fold (fun acc slot -> (id, slot) :: acc) acc q)
+      t.waiting []
+    |> List.sort (fun (_, a) (_, b) -> compare a b)
+end
+
+let orphan_response (resp : Engine.response) =
+  {
+    resp with
+    Engine.reply =
+      Engine.Error
+        (Printf.sprintf "orphaned response (no request slot waiting under id %S)"
+           resp.Engine.id);
+  }
+
+let unanswered_response ~id =
+  {
+    Engine.id;
+    client = "anon";
+    reply = Engine.Error "request produced no response (engine dropped it)";
+  }
+
 (* ---------- one-shot batch mode ---------- *)
 
 type batch = { responses : Engine.response list; wall_s : float }
 
 let run_batch engine ~lines =
-  let t0 = Unix.gettimeofday () in
+  let clock = Clock.create () in
+  let t0 = Clock.now_us clock in
   let items =
     List.mapi (fun i line -> (i, line)) lines
     |> List.filter (fun (_, line) -> String.trim line <> "")
   in
   let slots : Engine.response option array = Array.make (List.length items) None in
-  (* ids are caller-chosen and may repeat: map id -> FIFO of slot
-     indices still waiting for a drained response under that id *)
-  let waiting : (string, int Queue.t) Hashtbl.t = Hashtbl.create 64 in
+  let waiting = Slot_map.create () in
   List.iteri
     (fun slot (lineno, line) ->
       let default_id = string_of_int (lineno + 1) in
@@ -61,25 +119,32 @@ let run_batch engine ~lines =
       | Ok req -> (
         match Engine.submit engine req with
         | Some resp -> slots.(slot) <- Some resp
-        | None ->
-          let q =
-            match Hashtbl.find_opt waiting req.Engine.id with
-            | Some q -> q
-            | None ->
-              let q = Queue.create () in
-              Hashtbl.add waiting req.Engine.id q;
-              q
-          in
-          Queue.push slot q))
+        | None -> Slot_map.expect waiting ~id:req.Engine.id ~slot))
     items;
+  (* A drained response with no waiting slot is *not* silently dropped:
+     it is surfaced as an error row (it can only mean the engine held
+     work submitted outside this batch).  Conversely a slot left
+     unanswered after the drain becomes an error row too, so
+     |responses| >= |items| always — response-count conservation. *)
+  let orphans = ref [] in
   List.iter
     (fun (resp : Engine.response) ->
-      match Hashtbl.find_opt waiting resp.Engine.id with
-      | Some q when not (Queue.is_empty q) -> slots.(Queue.pop q) <- Some resp
-      | _ -> ())
+      match Slot_map.resolve waiting ~id:resp.Engine.id with
+      | Some slot -> slots.(slot) <- Some resp
+      | None -> orphans := orphan_response resp :: !orphans)
     (Engine.drain engine);
-  let responses = List.filter_map Fun.id (Array.to_list slots) in
-  { responses; wall_s = Unix.gettimeofday () -. t0 }
+  List.iter
+    (fun (id, slot) ->
+      if slots.(slot) = None then slots.(slot) <- Some (unanswered_response ~id))
+    (Slot_map.leftovers waiting);
+  let responses =
+    Array.to_list
+      (Array.map
+         (function Some r -> r | None -> unanswered_response ~id:"?")
+         slots)
+    @ List.rev !orphans
+  in
+  { responses; wall_s = float_of_int (Clock.elapsed_us clock ~since:t0) /. 1e6 }
 
 (* ---------- warm vs cold ---------- *)
 
@@ -198,6 +263,53 @@ let demo_requests ?(pool = 40) ~requests ~seed () =
   List.init requests (fun i ->
       let fields = entries.(Rng.int rng n) in
       let client = clients.(Rng.int rng (Array.length clients)) in
+      let priority =
+        match Rng.int rng 8 with 0 -> "high" | 1 -> "low" | _ -> "normal"
+      in
+      Json.to_string
+        (Json.Obj
+           (("id", Json.Str (string_of_int (i + 1)))
+           :: ("client", Json.Str client)
+           :: ("priority", Json.Str priority)
+           :: fields)))
+
+(* ---------- zipfian traffic ---------- *)
+
+(* Skewed production-shaped traffic: job popularity follows a Zipf law
+   (rank r drawn with probability proportional to r^-alpha), so a few
+   hot keys dominate exactly as real user traffic does, and clients
+   are drawn from a wide pool so lane registration churns.  Fully
+   deterministic in [seed]: the CI gate and the scaling experiments
+   replay byte-identical batches. *)
+let zipf_requests ?(pool = 40) ?(alpha = 1.1) ?(clients = 64) ~requests ~seed () =
+  if requests < 0 then invalid_arg "Serve.zipf_requests: requests must be >= 0";
+  if pool < 1 then invalid_arg "Serve.zipf_requests: pool must be >= 1";
+  if alpha < 0.0 then invalid_arg "Serve.zipf_requests: alpha must be >= 0";
+  if clients < 1 then invalid_arg "Serve.zipf_requests: clients must be >= 1";
+  let entries = Array.of_list (demo_pool ()) in
+  let n = min pool (Array.length entries) in
+  let rng = Rng.create seed in
+  (* rank -> cumulative weight, for inverse-CDF sampling *)
+  let cum = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for r = 0 to n - 1 do
+    total := !total +. (1.0 /. Float.pow (float_of_int (r + 1)) alpha);
+    cum.(r) <- !total
+  done;
+  let sample_rank () =
+    let u = Rng.float rng !total in
+    (* first rank whose cumulative weight covers u *)
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cum.(mid) >= u then search lo mid else search (mid + 1) hi
+    in
+    search 0 (n - 1)
+  in
+  List.init requests (fun i ->
+      let fields = entries.(sample_rank ()) in
+      let client = Printf.sprintf "user-%03d" (Rng.int rng clients) in
       let priority =
         match Rng.int rng 8 with 0 -> "high" | 1 -> "low" | _ -> "normal"
       in

@@ -14,9 +14,41 @@ val serve :
     coalesce.  Returns on EOF with every response written and flushed
     (clean shutdown). *)
 
+(** Matches drained responses back to input slots by request id (ids
+    may repeat: each id keys a FIFO of slots).  Shared by {!run_batch}
+    and the sharded workers ({!Shard}), so both enforce the same
+    response-count conservation. *)
+module Slot_map : sig
+  type t
+
+  val create : unit -> t
+
+  val expect : t -> id:string -> slot:int -> unit
+  (** Register a queued request's slot under its id. *)
+
+  val resolve : t -> id:string -> int option
+  (** Pop the oldest slot waiting under [id]; [None] means the response
+      is an orphan (nothing in this batch asked for it). *)
+
+  val pending : t -> int
+  (** Slots still waiting for a response. *)
+
+  val leftovers : t -> (string * int) list
+  (** Unanswered (id, slot) pairs, in slot order. *)
+end
+
+val orphan_response : Engine.response -> Engine.response
+(** Re-tag a drained response nothing was waiting for as an [Error] row
+    (it can only mean the engine held work submitted outside the
+    batch) — surfaced instead of silently dropped. *)
+
+val unanswered_response : id:string -> Engine.response
+(** The [Error] row standing in for a request the engine never
+    answered. *)
+
 type batch = {
   responses : Engine.response list;  (** in input order *)
-  wall_s : float;  (** submit + drain time for the whole batch *)
+  wall_s : float;  (** submit + drain time, monotonic, >= 0 *)
 }
 
 val run_batch : Engine.t -> lines:string list -> batch
@@ -24,7 +56,21 @@ val run_batch : Engine.t -> lines:string list -> batch
     applies at submit time, so a bounded queue sheds rather than
     stalls), then drain.  Blank lines are skipped; unparseable lines
     produce error responses.  Requests without an ["id"] get their
-    1-based line number. *)
+    1-based line number.
+
+    Response-count conservation holds: every non-blank input line gets
+    exactly one response row in input order, a drained response no slot
+    was waiting for is appended as an [Error]-tagged row rather than
+    dropped, and a slot the engine never answered becomes an [Error]
+    row too — [List.length responses >= number of non-blank lines],
+    with equality exactly when the engine started the batch empty. *)
+
+val signature : Engine.response -> string * string
+(** The identity-relevant projection of a response: (status, result
+    text).  Wall time, retry hints and cache origin are excluded — two
+    responses with equal signatures answer the request identically.
+    Both the warm-vs-cold and the sharded-vs-single comparisons gate on
+    it. *)
 
 type comparison = {
   cold : batch;  (** computed by a [no_cache] engine: every request runs *)
@@ -48,6 +94,22 @@ val demo_requests : ?pool:int -> requests:int -> seed:int -> unit -> string list
     ring and fuzzer, spread over three clients and all three
     priorities.  With the defaults, at least half the lines duplicate
     an earlier one. *)
+
+val zipf_requests :
+  ?pool:int ->
+  ?alpha:float ->
+  ?clients:int ->
+  requests:int ->
+  seed:int ->
+  unit ->
+  string list
+(** Production-shaped skewed traffic, fully deterministic in [seed]:
+    job popularity follows a Zipf law over the demo pool (rank [r]
+    with weight [r^-alpha], default [alpha = 1.1], so a handful of hot
+    keys dominate — the coalescing/memoization stress case), and each
+    request comes from one of [clients] (default 64) distinct client
+    names so scheduler-lane registration churns.  Priorities mix as in
+    {!demo_requests}. *)
 
 val summary : batch -> Metrics.t -> string
 (** Human summary table: totals by status/origin, hit rate, latency

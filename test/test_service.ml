@@ -498,6 +498,309 @@ let test_run_config_kv () =
         (RC.default_cores (Option.get (P.by_name "raspberrypi4")))
         r2.RC.cores
 
+(* ---------- scalability regressions ---------- *)
+
+module Clock = Armb_service.Clock
+module Shard = Armb_service.Shard
+
+(* Client churn must not grow the scheduler: a drained lane retires, so
+   the lane index tracks only clients with work in flight.  The old
+   list-backed registration kept every client ever seen (and each
+   registration was a full-list append). *)
+let test_lane_churn () =
+  let e = Engine.create ~no_cache:true () in
+  let job = job_of_test ~trials:2 (List.hd Cat.all) in
+  let wave tag =
+    for i = 1 to 64 do
+      ignore
+        (Engine.submit e
+           (req ~id:(Printf.sprintf "%s-%d" tag i)
+              ~client:(Printf.sprintf "client-%s-%03d" tag i) job))
+    done;
+    check Alcotest.int (tag ^ ": one lane per active client") 64 (Engine.live_lanes e);
+    check Alcotest.int
+      (tag ^ ": responses")
+      64
+      (List.length (Engine.drain e));
+    check Alcotest.int (tag ^ ": drained lanes retire") 0 (Engine.live_lanes e)
+  in
+  (* three waves of disjoint clients: 192 clients total, never more
+     than 64 live lanes *)
+  wave "a";
+  wave "b";
+  wave "c"
+
+(* Absorbing a duplicate is O(1) and order-preserving: the first
+   arrival computes (Cold), every later arrival coalesces, and the
+   drain answers them in arrival order.  The old [waiters @ [req]]
+   append made exactly this pattern quadratic. *)
+let test_coalesce_order_large () =
+  let e = Engine.create () in
+  let job = job_of_test (List.hd Cat.all) in
+  let n = 500 in
+  for i = 1 to n do
+    match Engine.submit e (req ~id:(string_of_int i) job) with
+    | None -> ()
+    | Some _ -> Alcotest.fail "duplicates of a queued job must coalesce"
+  done;
+  let rs = Engine.drain e in
+  check Alcotest.int "one response per request" n (List.length rs);
+  List.iteri
+    (fun i (r : Engine.response) ->
+      check Alcotest.string "arrival order preserved" (string_of_int (i + 1))
+        r.Engine.id;
+      match r.Engine.reply with
+      | Engine.Result { origin; _ } ->
+        check Alcotest.bool "first cold, rest coalesced" true
+          (origin = if i = 0 then Engine.Cold else Engine.Coalesced)
+      | _ -> Alcotest.fail "expected ok responses")
+    rs;
+  check Alcotest.int "coalesced count" (n - 1)
+    (Metrics.get (Engine.metrics e) "coalesced")
+
+(* The monotonized clock clamps a time source that steps backwards
+   (NTP, VM migration), so measured intervals are never negative. *)
+let test_clock_monotonic () =
+  let steps = ref [ 100.0; 200.0; 50.0; 60.0; 300.0 ] in
+  let source () =
+    match !steps with
+    | [] -> 300.0
+    | x :: rest ->
+      steps := rest;
+      x
+  in
+  let c = Clock.create ~source () in
+  let t1 = Clock.now_us c in
+  let t2 = Clock.now_us c in
+  check Alcotest.bool "advances" true (t2 > t1);
+  let t3 = Clock.now_us c in
+  check Alcotest.int "backwards step clamps to the last reading" t2 t3;
+  check Alcotest.int "still clamped" t2 (Clock.now_us c);
+  check Alcotest.bool "resumes once the source catches up" true (Clock.now_us c > t2);
+  check Alcotest.bool "elapsed never negative" true
+    (Clock.elapsed_us c ~since:max_int >= 0)
+
+let test_engine_wall_us_nonnegative () =
+  (* a source that jumps far backwards mid-computation *)
+  let calls = ref 0 in
+  let source () =
+    incr calls;
+    if !calls = 1 then 1000.0 else 1.0
+  in
+  let e = Engine.create ~clock:(Clock.create ~source ()) () in
+  ignore (Engine.submit e (req ~id:"1" (job_of_test (List.hd Cat.all))));
+  match Engine.drain e with
+  | [ { Engine.reply = Engine.Result { wall_us; _ }; _ } ] ->
+    check Alcotest.bool "wall_us clamped >= 0" true (wall_us >= 0)
+  | _ -> Alcotest.fail "expected one response"
+
+(* Response-count conservation: work the engine held from outside the
+   batch surfaces as an error-tagged orphan row instead of being
+   silently dropped, and every batch slot still gets its own row. *)
+let test_batch_conservation () =
+  let e = Engine.create () in
+  let tests = Array.of_list Cat.all in
+  ignore (Engine.submit e (req ~id:"outsider" (job_of_test tests.(5))));
+  let lines =
+    [
+      {|{"id":"a","kind":"litmus","test":"MP","trials":6,"seed":42}|};
+      "";
+      {|{"id":"b","kind":"litmus","test":"SB","trials":6,"seed":42}|};
+    ]
+  in
+  let b = Serve.run_batch e ~lines in
+  check Alcotest.int "2 slots + 1 orphan" 3 (List.length b.Serve.responses);
+  (match b.Serve.responses with
+  | [ ra; rb; orphan ] ->
+    check Alcotest.string "slot order" "a" ra.Engine.id;
+    check Alcotest.string "slot order" "b" rb.Engine.id;
+    check Alcotest.string "orphan keeps its id" "outsider" orphan.Engine.id;
+    (match orphan.Engine.reply with
+    | Engine.Error m ->
+      check Alcotest.bool "orphan tagged" true
+        (String.length m >= 8 && String.sub m 0 8 = "orphaned")
+    | _ -> Alcotest.fail "orphan must be an error row")
+  | _ -> Alcotest.fail "unexpected batch shape");
+  (* an engine that starts empty conserves exactly *)
+  let b2 = Serve.run_batch (Engine.create ()) ~lines in
+  check Alcotest.int "fresh engine: one row per non-blank line" 2
+    (List.length b2.Serve.responses)
+
+(* ---------- JSON grammar ---------- *)
+
+let test_json_number_grammar () =
+  let ok what s expected =
+    match Json.of_string s with
+    | Ok j -> check Alcotest.string what expected (Json.to_string j)
+    | Error e -> Alcotest.fail (what ^ ": " ^ e)
+  in
+  let bad what s =
+    match Json.of_string s with
+    | Ok _ -> Alcotest.fail (what ^ " must be rejected")
+    | Error _ -> ()
+  in
+  ok "zero" "0" "0";
+  ok "negative zero" "-0" "0";
+  ok "int" "-127" "-127";
+  ok "fraction" "0.5" "0.5";
+  ok "exponent" "1e2" "100.0";
+  ok "signed exponent" "1.5E+2" "150.0";
+  ok "big magnitude falls back to float" "123456789123456789123456789"
+    "1.23457e+26";
+  bad "leading plus" "+5";
+  bad "leading zero" "01";
+  bad "hex" "0x10";
+  bad "underscores" "1_000";
+  bad "bare dot" "5.";
+  bad "leading dot" ".5";
+  bad "dangling exponent" "1e";
+  bad "double minus" "--1";
+  bad "minus alone" "-";
+  bad "inf" "inf";
+  bad "nan" "nan"
+
+let test_json_surrogate_pairs () =
+  (* escape pairs assembled by concatenation so the pair only exists in
+     the parsed JSON, never in this source file's encoding *)
+  (match Json.of_string ({|"\ud83d|} ^ {|\ude00"|}) with
+  | Ok (Json.Str s) ->
+    check Alcotest.string "surrogate pair combines into one code point"
+      "\xf0\x9f\x98\x80" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error e -> Alcotest.fail e);
+  (match Json.of_string ({|"\ud834|} ^ {|\udd1e"|}) with
+  | Ok (Json.Str s) ->
+    check Alcotest.string "U+1D11E" "\xf0\x9d\x84\x9e" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error e -> Alcotest.fail e);
+  let bad what s =
+    match Json.of_string s with
+    | Ok _ -> Alcotest.fail (what ^ " must be rejected")
+    | Error _ -> ()
+  in
+  bad "lone high surrogate" {|"\ud83d"|};
+  bad "lone low surrogate" {|"\ude00"|};
+  bad "high followed by non-surrogate" {|"\ud83dA"|};
+  bad "high at end of escape run" {|"\ud83dx"|};
+  (* basic-plane escapes still decode *)
+  match Json.of_string "\"\\u00e9\"" with
+  | Ok (Json.Str s) -> check Alcotest.string "BMP escape" "\xc3\xa9" s
+  | _ -> Alcotest.fail "BMP escape must decode"
+
+(* Printable round-trip property over random JSON trees (floats
+   excluded: their %.6g rendering is lossy by design). *)
+let prop_json_roundtrip =
+  let open QCheck in
+  let leaf =
+    Gen.oneof
+      [
+        Gen.return Json.Null;
+        Gen.map (fun b -> Json.Bool b) Gen.bool;
+        Gen.map (fun i -> Json.Int i) Gen.int;
+        Gen.map (fun s -> Json.Str s) Gen.string_printable;
+      ]
+  in
+  let tree =
+    Gen.sized (fun n ->
+        Gen.fix
+          (fun self n ->
+            if n <= 1 then leaf
+            else
+              Gen.oneof
+                [
+                  leaf;
+                  Gen.map (fun xs -> Json.List xs)
+                    (Gen.list_size (Gen.int_bound 4) (self (n / 2)));
+                  Gen.map (fun kvs -> Json.Obj kvs)
+                    (Gen.list_size (Gen.int_bound 4)
+                       (Gen.pair Gen.string_printable (self (n / 2))));
+                ])
+          n)
+  in
+  Test.make ~name:"to_string/of_string round trip" ~count:200 (make tree)
+    (fun j ->
+      match Json.of_string (Json.to_string j) with
+      | Ok j' -> Json.to_string j = Json.to_string j'
+      | Error _ -> false)
+
+(* ---------- sharded service ---------- *)
+
+let test_shard_routing_stable_and_balanced () =
+  let a = Shard.create ~domains:4 () in
+  let b = Shard.create ~domains:4 () in
+  let counts = Array.make 4 0 in
+  for i = 0 to 9999 do
+    (* routing inputs are Hashtbl.hash outputs (Job.route_hash), so the
+       balance claim is over hash-distributed points, not raw ints *)
+    let h = Hashtbl.hash ("route", i) in
+    let s = Shard.shard_of_hash a h in
+    check Alcotest.int "same ring for the same domain count" s
+      (Shard.shard_of_hash b h);
+    check Alcotest.bool "in range" true (s >= 0 && s < 4);
+    counts.(s) <- counts.(s) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      check Alcotest.bool
+        (Printf.sprintf "shard %d owns a non-trivial share (%d)" i c)
+        true
+        (c > 500))
+    counts;
+  (* identical requests land on identical shards *)
+  (match Codec.request_of_line {|{"kind":"litmus","test":"MP","trials":6}|} with
+  | Ok r ->
+    check Alcotest.int "request routing deterministic" (Shard.shard_of a r)
+      (Shard.shard_of a r)
+  | Error e -> Alcotest.fail e);
+  ignore (Shard.shutdown a : Engine.response list);
+  ignore (Shard.shutdown b : Engine.response list)
+
+let test_shard_identical_to_single () =
+  let lines = Serve.demo_requests ~requests:60 ~seed:3 () in
+  let c = Shard.compare_single ~domains:3 ~lines () in
+  check Alcotest.bool "sharded responses signature-identical to one domain" true
+    c.Shard.identical;
+  check Alcotest.bool "duplicates coalesced on their shards" true
+    (c.Shard.coalesced > 0);
+  check Alcotest.int "same coalesce count as one domain"
+    (Metrics.get c.Shard.single_metrics "coalesced")
+    c.Shard.coalesced
+
+let test_shard_global_queue_bound () =
+  (* 60 requests over ~24 distinct jobs against a global bound of 4:
+     the router must shed in input order exactly where one engine
+     would, not per shard *)
+  let lines = Serve.demo_requests ~requests:60 ~seed:3 () in
+  let c = Shard.compare_single ~domains:3 ~queue_bound:4 ~lines () in
+  check Alcotest.bool "shed pattern identical to one domain" true c.Shard.identical;
+  check Alcotest.bool "something was shed" true
+    (Metrics.get c.Shard.single_metrics "shed" > 0)
+
+let test_shard_zipf_deterministic_and_skewed () =
+  let a = Serve.zipf_requests ~requests:400 ~seed:5 () in
+  let b = Serve.zipf_requests ~requests:400 ~seed:5 () in
+  check Alcotest.(list string) "deterministic under a fixed seed" a b;
+  check Alcotest.bool "seed changes the batch" true
+    (a <> Serve.zipf_requests ~requests:400 ~seed:6 ());
+  check Alcotest.int "requested size" 400 (List.length a);
+  (* Zipf head: the hottest job dominates far beyond the uniform 1/40 *)
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun line ->
+      let k = strip_envelope line in
+      Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    a;
+  let top = Hashtbl.fold (fun _ c acc -> max c acc) tbl 0 in
+  check Alcotest.bool
+    (Printf.sprintf "hottest job dominates (%d/400)" top)
+    true (top >= 40);
+  List.iter
+    (fun line ->
+      match Codec.request_of_line line with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("zipf line does not decode: " ^ e))
+    a
+
 let () =
   Alcotest.run "service"
     [
@@ -523,6 +826,26 @@ let () =
           Alcotest.test_case "priority order" `Quick test_priority_order;
           Alcotest.test_case "fair share across clients" `Quick test_fair_share;
           Alcotest.test_case "invalid spec errors" `Quick test_error_reply;
+          Alcotest.test_case "lane churn bounded, drained lanes retire" `Quick
+            test_lane_churn;
+          Alcotest.test_case "hot-key coalescing order at scale" `Quick
+            test_coalesce_order_large;
+          Alcotest.test_case "clock clamps backwards steps" `Quick
+            test_clock_monotonic;
+          Alcotest.test_case "wall_us non-negative under clock rollback" `Quick
+            test_engine_wall_us_nonnegative;
+          Alcotest.test_case "batch response-count conservation" `Quick
+            test_batch_conservation;
+        ] );
+      ( "shard",
+        [
+          Alcotest.test_case "routing stable and balanced" `Slow
+            test_shard_routing_stable_and_balanced;
+          Alcotest.test_case "sharded identical to single-domain" `Slow
+            test_shard_identical_to_single;
+          Alcotest.test_case "global queue bound" `Slow test_shard_global_queue_bound;
+          Alcotest.test_case "zipf traffic deterministic and skewed" `Quick
+            test_shard_zipf_deterministic_and_skewed;
         ] );
       ( "determinism",
         [
@@ -538,6 +861,9 @@ let () =
           Alcotest.test_case "request errors" `Quick test_codec_errors;
           Alcotest.test_case "response line parses" `Quick test_response_line_parses;
           Alcotest.test_case "json parser" `Quick test_json_parser;
+          Alcotest.test_case "json number grammar" `Quick test_json_number_grammar;
+          Alcotest.test_case "json surrogate pairs" `Quick test_json_surrogate_pairs;
+          QCheck_alcotest.to_alcotest prop_json_roundtrip;
           Alcotest.test_case "run_config kv round trip" `Quick test_run_config_kv;
         ] );
     ]
