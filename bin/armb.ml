@@ -350,7 +350,11 @@ let perf_cmd =
     Arg.(value & flag & info [ "quick" ] ~doc:"Smaller iteration/trial counts (CI smoke profile).")
   in
   let out =
-    Arg.(value & opt string "BENCH_perf.json" & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the results JSON.")
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Where to write the results JSON (default BENCH_perf.json; with \
+                   $(b,--only) nothing is written unless this is given, so a filtered \
+                   run cannot clobber the full committed baseline).")
   in
   let baseline =
     Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc:"Committed baseline JSON to compare events/sec against (read before $(b,--out) overwrites it).")
@@ -358,7 +362,14 @@ let perf_cmd =
   let tolerance =
     Arg.(value & opt float 0.2 & info [ "tolerance" ] ~docv:"FRAC" ~doc:"Allowed fractional events/sec regression vs the baseline (default 0.2 = 20%).")
   in
-  let run quick out baseline tolerance intensity =
+  let only =
+    Arg.(value & opt (some (list string)) None
+         & info [ "only" ] ~docv:"ID,.."
+             ~doc:"Run only the named workloads (comma-separated), e.g. \
+                   $(b,--only many-core-central,many-core-tree).  Unknown ids are \
+                   rejected with the valid list.")
+  in
+  let run quick out baseline tolerance only intensity =
     let module Perf = Armb_perf.Perf in
     let fault =
       if intensity <= 0.0 then None
@@ -368,9 +379,18 @@ let perf_cmd =
              intensity)
     in
     let base = Option.map (fun p -> (p, Perf.load_json ~path:p)) baseline in
-    let r = Perf.run ~quick ?fault ~progress:(fun n -> Printf.printf "perf: %s...\n%!" n) () in
+    let r =
+      try Perf.run ~quick ?fault ?only ~progress:(fun n -> Printf.printf "perf: %s...\n%!" n) ()
+      with Invalid_argument msg ->
+        Printf.eprintf "perf: %s\n" msg;
+        exit 2
+    in
     Format.printf "%a@." Perf.pp r;
-    write_out out (Perf.to_json r);
+    (match (out, only) with
+    | Some f, _ -> write_out f (Perf.to_json r)
+    | None, None -> write_out "BENCH_perf.json" (Perf.to_json r)
+    | None, Some _ ->
+      Printf.printf "perf: --only run, results not written (pass --out to save a partial file)\n");
     match base with
     | None -> ()
     | Some (p, None) ->
@@ -399,7 +419,63 @@ let perf_cmd =
     (Cmd.info "perf"
        ~doc:"Kernel-throughput benchmark: events/sec over representative workloads, \
              persisted to BENCH_perf.json, optionally gated against a committed baseline.")
-    Term.(const run $ quick $ out $ baseline $ tolerance $ fault_intensity)
+    Term.(const run $ quick $ out $ baseline $ tolerance $ only $ fault_intensity)
+
+(* ---------- barrier ---------- *)
+
+let barrier_cmd =
+  let module BS = Armb_workloads.Barrier_study in
+  let sizes =
+    Arg.(value & opt (list int) BS.default_sizes
+         & info [ "sizes" ] ~docv:"N,.."
+             ~doc:(Printf.sprintf
+                     "Core counts to sweep.  Each must be a multiple of 8 between %d and \
+                      %d that splits into uniform NUMA nodes (validated before any \
+                      simulation runs)."
+                     Armb_platform.Platform.manycore_min Armb_platform.Platform.manycore_max))
+  in
+  let episodes =
+    Arg.(value & opt int 4 & info [ "episodes" ] ~docv:"N" ~doc:"Barrier episodes per run.")
+  in
+  let work =
+    Arg.(value & opt int 64
+         & info [ "work" ] ~docv:"CYCLES" ~doc:"ALU cycles of per-core work between barriers.")
+  in
+  let arity =
+    Arg.(value & opt int 4 & info [ "arity" ] ~docv:"K" ~doc:"Combining-tree arity (>= 2).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Also write the sweep as JSON.")
+  in
+  let run sizes episodes work arity out =
+    (* Reject bad sizes before the first simulation, with the shape hint. *)
+    List.iter
+      (fun s ->
+        match Armb_platform.Platform.manycore_shape s with
+        | Ok _ -> ()
+        | Error m ->
+          Printf.eprintf "barrier: %s\n" m;
+          exit 2)
+      sizes;
+    let t =
+      try
+        BS.run ~sizes ~episodes ~work ~arity
+          ~progress:(fun n -> Printf.printf "barrier: %d cores...\n%!" n)
+          ()
+      with Invalid_argument msg ->
+        Printf.eprintf "barrier: %s\n" msg;
+        exit 2
+    in
+    Format.printf "%a@." BS.pp t;
+    match out with None -> () | Some p -> write_out p (BS.to_json t)
+  in
+  Cmd.v
+    (Cmd.info "barrier"
+       ~doc:"Many-core barrier crossover study: central counter vs combining tree vs \
+             dissemination on scaled-out manycore machines, cycles per episode and the \
+             central-to-tree crossover point.")
+    Term.(const run $ sizes $ episodes $ work $ arity $ out)
 
 (* ---------- perturb ---------- *)
 
@@ -963,6 +1039,7 @@ let () =
             fuzz_cmd;
             perturb_cmd;
             perf_cmd;
+            barrier_cmd;
             trace_cmd;
             serve_cmd;
             batch_cmd;

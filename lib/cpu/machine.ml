@@ -12,7 +12,7 @@ type t = {
   cfg : Config.t;
   q : Event_queue.t;
   memory : Memsys.t;
-  threads : (int, thread) Hashtbl.t;
+  threads : thread option array; (* indexed by core id *)
   tracer : (Trace.span -> unit) option;
   observer : Observe.t option;
   injector : Armb_fault.Injector.t option;
@@ -35,7 +35,7 @@ let create ?tracer ?observer ?fault cfg =
     cfg;
     q = Event_queue.create ();
     memory = Memsys.create ?inj:injector ~topo:cfg.topo ~lat:cfg.lat ();
-    threads = Hashtbl.create 16;
+    threads = Array.make (Topology.num_cores cfg.topo) None;
     tracer;
     observer;
     injector;
@@ -60,21 +60,20 @@ let alloc_lines t n =
   a
 
 let spawn t ~core body =
-  if core < 0 || core >= Topology.num_cores t.cfg.topo then
+  if core < 0 || core >= Array.length t.threads then
     raise (Simulation_error (Printf.sprintf "spawn: core %d out of range" core));
-  if Hashtbl.mem t.threads core then
+  if t.threads.(core) <> None then
     raise (Simulation_error (Printf.sprintf "spawn: core %d already has a thread" core));
   let c =
     Core.make ?tracer:t.tracer ?observer:t.observer ?fault:t.injector ~id:core ~cfg:t.cfg
       ~queue:t.q ~mem:t.memory ()
   in
-  Hashtbl.add t.threads core { core = c; body; finished = false };
+  t.threads.(core) <- Some { core = c; body; finished = false };
   t.unfinished <- t.unfinished + 1
 
 let core t id =
-  match Hashtbl.find_opt t.threads id with
-  | Some th -> th.core
-  | None -> raise Not_found
+  if id < 0 || id >= Array.length t.threads then raise Not_found;
+  match t.threads.(id) with Some th -> th.core | None -> raise Not_found
 
 (* Run a thread body under the suspension handler.  The body executes
    synchronously until it performs Suspend; the continuation is then
@@ -105,19 +104,26 @@ let start t th =
     }
 
 let run ?max_cycles t =
-  let threads = Hashtbl.fold (fun _ th acc -> th :: acc) t.threads [] in
-  let threads = List.sort (fun a b -> compare (Core.id a.core) (Core.id b.core)) threads in
-  List.iter (fun th -> Event_queue.schedule t.q ~at:0 (fun () -> start t th)) threads;
+  (* The array is already in core-id order: launch in index order, no
+     collect-and-sort pass over a hash table. *)
+  Array.iter
+    (function
+      | Some th -> Event_queue.schedule t.q ~at:0 (fun () -> start t th)
+      | None -> ())
+    t.threads;
   (match max_cycles with
   | Some m -> Event_queue.run ~until:m t.q
   | None -> Event_queue.run t.q);
   if t.unfinished = 0 then Completed
   else if Event_queue.pending t.q > 0 then Cycle_limit
   else begin
-    let blocked =
-      Hashtbl.fold (fun id th acc -> if th.finished then acc else id :: acc) t.threads []
-    in
-    Deadlock (List.sort compare blocked)
+    let blocked = ref [] in
+    for id = Array.length t.threads - 1 downto 0 do
+      match t.threads.(id) with
+      | Some th when not th.finished -> blocked := id :: !blocked
+      | _ -> ()
+    done;
+    Deadlock !blocked
   end
 
 let run_exn ?max_cycles t =
@@ -130,7 +136,10 @@ let run_exn ?max_cycles t =
             (String.concat "; " (List.map string_of_int ids))))
   | Cycle_limit -> raise (Simulation_error "cycle limit reached")
 
-let elapsed t = Hashtbl.fold (fun _ th acc -> max acc (Core.cursor th.core)) t.threads 0
+let elapsed t =
+  Array.fold_left
+    (fun acc th -> match th with Some th -> max acc (Core.cursor th.core) | None -> acc)
+    0 t.threads
 
 let throughput t ~ops =
   Armb_sim.Stats.throughput_per_sec ~ops ~cycles:(elapsed t) ~freq_ghz:t.cfg.freq_ghz

@@ -2,7 +2,7 @@ type access = { latency : int; cross_node : bool; hit : bool }
 
 type line = {
   mutable owner : int; (* core holding the line exclusively, -1 if none *)
-  mutable sharers : int; (* bitmask of cores with a valid copy *)
+  sharers : Coreset.t; (* cores with a valid copy (multi-word set) *)
   mutable busy_until : int; (* serialization point for ownership changes *)
   mutable ready_at : int;
       (* completion time of the most recent fill/transfer: a subsequent
@@ -37,10 +37,10 @@ type t = {
   mutable c_inval : int;
 }
 
-let new_line _idx =
+let new_line ~cores _idx =
   {
     owner = -1;
-    sharers = 0;
+    sharers = Coreset.create ~cores;
     busy_until = 0;
     ready_at = 0;
     pending_writer = -1;
@@ -49,11 +49,12 @@ let new_line _idx =
   }
 
 let create ?inj ~topo ~lat () =
+  let cores = Topology.num_cores topo in
   {
     topo;
     lat;
     inj;
-    lines = Int_table.create ~capacity:64 (new_line 0);
+    lines = Int_table.create ~capacity:64 (new_line ~cores 0);
     values = Int_table.create ~capacity:64 0L;
     c_hits = 0;
     c_transfers = 0;
@@ -76,28 +77,30 @@ let[@inline] delay_snoop t ~rank =
 
 let line_of addr = addr lsr 6
 
-let line t addr = Int_table.find_or_add t.lines (line_of addr) new_line
+let line t addr =
+  Int_table.find_or_add t.lines (line_of addr)
+    (new_line ~cores:(Topology.num_cores t.topo))
 
-let bit c = 1 lsl c
-
-let popcount mask =
-  let m = ref mask and n = ref 0 in
-  while !m <> 0 do
-    m := !m land (!m - 1);
-    incr n
-  done;
-  !n
-
-(* The requester must wait for the farthest snoop response.  Sharer
-   masks are classified with the topology's precomputed per-core masks:
-   any bit outside the requester's node is cross-node, any remaining bit
-   outside its cluster is same-node, and so on — no per-sharer loop. *)
-let worst_rank t core mask =
-  let mask = mask land lnot (bit core) in
-  if mask = 0 then 0
-  else if mask land lnot (Topology.node_mask t.topo core) <> 0 then 3
-  else if mask land lnot (Topology.cluster_mask t.topo core) <> 0 then 2
-  else 1
+(* The requester must wait for the farthest snoop response.  The
+   "others" set of a write is the sharers minus the writer, plus the
+   owner when one exists; it is classified against the topology's
+   precomputed per-core membership sets with word-wise walks — no
+   per-sharer loop, no materialized temporary set.  Only called when
+   that set is non-empty (the caller established [has_others]); the
+   owner, when present, is never the requesting core here. *)
+let worst_rank t core l =
+  let node = Topology.node_set t.topo core in
+  if
+    Coreset.outside_except l.sharers node ~except:core
+    || (l.owner >= 0 && not (Coreset.mem node l.owner))
+  then 3
+  else
+    let cluster = Topology.cluster_set t.topo core in
+    if
+      Coreset.outside_except l.sharers cluster ~except:core
+      || (l.owner >= 0 && not (Coreset.mem cluster l.owner))
+    then 2
+    else 1
 
 (* Serialize ownership-changing operations on a contended line. *)
 let serialize l ~now lat_cycles =
@@ -107,7 +110,7 @@ let serialize l ~now lat_cycles =
 
 let read t ~now ~core ~addr =
   let l = line t addr in
-  if l.sharers land bit core <> 0 then begin
+  if Coreset.mem l.sharers core then begin
     t.c_hits <- t.c_hits + 1;
     { latency = max t.lat.l1_hit (l.ready_at - now); cross_node = false; hit = true }
   end
@@ -118,7 +121,7 @@ let read t ~now ~core ~addr =
     let cross = r = 3 in
     if cross then t.c_cross <- t.c_cross + 1;
     (* Owner downgrades to shared; reader gets a copy. *)
-    l.sharers <- bit l.owner lor bit core;
+    Coreset.set_pair l.sharers l.owner core;
     l.owner <- -1;
     let latency = serialize l ~now xfer in
     (* An in-flight fill delays the transfer: the copy can't leave the
@@ -127,14 +130,14 @@ let read t ~now ~core ~addr =
     l.ready_at <- now + latency;
     { latency; cross_node = cross; hit = false }
   end
-  else if l.sharers <> 0 then begin
-    (* Fetch from the nearest sharer: membership of the requester's
-       cluster/node masks classifies the best distance directly.  The
+  else if not (Coreset.is_empty l.sharers) then begin
+    (* Fetch from the nearest sharer: intersection with the requester's
+       cluster/node sets classifies the best distance directly.  The
        requester itself is never a sharer here — the hit branch above
        caught that. *)
     let best =
-      if l.sharers land Topology.cluster_mask t.topo core <> 0 then 1
-      else if l.sharers land Topology.node_mask t.topo core <> 0 then 2
+      if Coreset.intersects l.sharers (Topology.cluster_set t.topo core) then 1
+      else if Coreset.intersects l.sharers (Topology.node_set t.topo core) then 2
       else 3
     in
     let xfer =
@@ -143,7 +146,7 @@ let read t ~now ~core ~addr =
     t.c_transfers <- t.c_transfers + 1;
     let cross = best = 3 in
     if cross then t.c_cross <- t.c_cross + 1;
-    l.sharers <- l.sharers lor bit core;
+    Coreset.add l.sharers core;
     (* If the sharer's own copy is still in flight, this reader waits
        for that fill too — the returned latency must match ready_at,
        or a racing read would complete before the line exists. *)
@@ -153,20 +156,22 @@ let read t ~now ~core ~addr =
   end
   else begin
     t.c_dram <- t.c_dram + 1;
-    l.sharers <- bit core;
+    Coreset.set_only l.sharers core;
     let latency = max (t.lat.dram + jitter_dram t) (l.ready_at - now) in
     l.ready_at <- now + latency;
     { latency; cross_node = false; hit = false }
   end
 
 let write_latency t ~core l =
-  (* Returns (cycles, cross_node, hit) without serialization applied. *)
+  (* Returns (cycles, cross_node, hit) without serialization applied.
+     "Others" — the copies a write must invalidate — is the sharer set
+     minus the writer, plus the owner when one exists; it is never
+     materialized, only tested and counted word-wise. *)
   if l.owner = core then (t.lat.l1_hit, false, true)
   else begin
-    let others = l.sharers land lnot (bit core) in
-    let others = if l.owner >= 0 then others lor bit l.owner else others in
-    if others = 0 then
-      if l.sharers land bit core <> 0 then
+    let has_others = l.owner >= 0 || Coreset.any_except l.sharers core in
+    if not has_others then
+      if Coreset.mem l.sharers core then
         (* Upgrade from shared-alone to exclusive: local. *)
         (t.lat.l1_hit, false, true)
       else begin
@@ -174,12 +179,16 @@ let write_latency t ~core l =
         (t.lat.dram + jitter_dram t, false, false)
       end
     else begin
-      let r = worst_rank t core others in
+      let r = worst_rank t core l in
       let cycles =
         Latency.transfer t.lat (Topology.distance_of_rank r) + delay_snoop t ~rank:r
       in
       t.c_transfers <- t.c_transfers + 1;
-      t.c_inval <- t.c_inval + popcount others;
+      let fanout =
+        Coreset.cardinal_except l.sharers core
+        + if l.owner >= 0 && not (Coreset.mem l.sharers l.owner) then 1 else 0
+      in
+      t.c_inval <- t.c_inval + fanout;
       let cross = r = 3 in
       if cross then t.c_cross <- t.c_cross + 1;
       (cycles, cross, false)
@@ -210,7 +219,7 @@ let write_begin t ~now ~core ~addr =
 let write_finish t ~now ~core ~addr =
   let l = line t addr in
   l.owner <- core;
-  l.sharers <- bit core;
+  Coreset.set_only l.sharers core;
   if now > l.ready_at then l.ready_at <- now;
   if l.pending_writer = core && l.pending_until <= now then l.pending_writer <- -1
 
@@ -221,7 +230,7 @@ let extend_pending t ~core ~addr ~until =
 let place t ~core ~addr =
   let l = line t addr in
   l.owner <- core;
-  l.sharers <- bit core
+  Coreset.set_only l.sharers core
 
 let rmw t ~now ~core ~addr =
   (* Atomics claim the line for the whole operation. *)
@@ -232,7 +241,7 @@ let rmw t ~now ~core ~addr =
     (if hit && l.owner = core then cycles else serialize l ~now cycles) + t.lat.rmw_extra
   in
   l.owner <- core;
-  l.sharers <- bit core;
+  Coreset.set_only l.sharers core;
   l.ready_at <- now + latency;
   { latency; cross_node = cross; hit = false }
 

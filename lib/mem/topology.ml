@@ -4,31 +4,40 @@ type t = {
   num_nodes : int;
   cluster_of : int array;
   node_of : int array;
-  cluster_mask : int array; (* per core: mask of cores sharing its cluster *)
-  node_mask : int array; (* per core: mask of cores sharing its NUMA node *)
+  cluster_set : Coreset.t array; (* per core: set of cores sharing its cluster *)
+  node_set : Coreset.t array; (* per core: set of cores sharing its NUMA node *)
   rank : Bytes.t; (* num_cores x num_cores distance ranks, row-major *)
 }
 
 type distance = Same_core | Same_cluster | Same_node | Cross_node
 
-let max_cores = 62
+let max_cores = 1024
 
 let build node_of cluster_of =
   let num_cores = Array.length node_of in
   if num_cores = 0 then invalid_arg "Topology: no cores";
-  if num_cores > max_cores then invalid_arg "Topology: too many cores";
+  if num_cores > max_cores then
+    invalid_arg
+      (Printf.sprintf "Topology: %d cores exceeds the %d-core limit" num_cores max_cores);
+  let num_clusters = 1 + Array.fold_left max 0 cluster_of in
+  let num_nodes = 1 + Array.fold_left max 0 node_of in
   (* Precompute what the memory system asks on every access: the
-     distance class of a core pair and, per core, the bitmasks of its
-     cluster and node peers.  Snoop-distance questions over sharer masks
-     then reduce to a few bitwise tests instead of per-sharer loops. *)
-  let cluster_mask = Array.make num_cores 0 in
-  let node_mask = Array.make num_cores 0 in
+     distance class of a core pair and, per core, the membership sets of
+     its cluster and node peers.  Snoop-distance questions over sharer
+     sets then reduce to a few word-wise tests instead of per-sharer
+     loops.  Cores of one cluster/node share one set object — the sets
+     are immutable after build. *)
+  let cluster_members = Array.init num_clusters (fun _ -> Coreset.create ~cores:num_cores) in
+  let node_members = Array.init num_nodes (fun _ -> Coreset.create ~cores:num_cores) in
+  for c = 0 to num_cores - 1 do
+    Coreset.add cluster_members.(cluster_of.(c)) c;
+    Coreset.add node_members.(node_of.(c)) c
+  done;
+  let cluster_set = Array.init num_cores (fun c -> cluster_members.(cluster_of.(c))) in
+  let node_set = Array.init num_cores (fun c -> node_members.(node_of.(c))) in
   let rank = Bytes.create (num_cores * num_cores) in
   for a = 0 to num_cores - 1 do
     for b = 0 to num_cores - 1 do
-      if cluster_of.(a) = cluster_of.(b) then
-        cluster_mask.(a) <- cluster_mask.(a) lor (1 lsl b);
-      if node_of.(a) = node_of.(b) then node_mask.(a) <- node_mask.(a) lor (1 lsl b);
       let r =
         if a = b then 0
         else if cluster_of.(a) = cluster_of.(b) then 1
@@ -40,12 +49,12 @@ let build node_of cluster_of =
   done;
   {
     num_cores;
-    num_clusters = 1 + Array.fold_left max 0 cluster_of;
-    num_nodes = 1 + Array.fold_left max 0 node_of;
+    num_clusters;
+    num_nodes;
     cluster_of;
     node_of;
-    cluster_mask;
-    node_mask;
+    cluster_set;
+    node_set;
     rank;
   }
 
@@ -53,6 +62,10 @@ let make ~nodes ~clusters_per_node ~cores_per_cluster =
   if nodes <= 0 || clusters_per_node <= 0 || cores_per_cluster <= 0 then
     invalid_arg "Topology.make: non-positive dimension";
   let total = nodes * clusters_per_node * cores_per_cluster in
+  if total > max_cores then
+    invalid_arg
+      (Printf.sprintf "Topology.make: %dx%dx%d = %d cores exceeds the %d-core limit" nodes
+         clusters_per_node cores_per_cluster total max_cores);
   let node_of = Array.make total 0 and cluster_of = Array.make total 0 in
   for c = 0 to total - 1 do
     let cluster = c / cores_per_cluster in
@@ -66,6 +79,10 @@ let heterogeneous ~nodes ~cluster_sizes =
   let per_node = List.fold_left ( + ) 0 cluster_sizes in
   let clusters_per_node = List.length cluster_sizes in
   let total = nodes * per_node in
+  if total > max_cores then
+    invalid_arg
+      (Printf.sprintf "Topology.heterogeneous: %d cores exceeds the %d-core limit" total
+         max_cores);
   let node_of = Array.make total 0 and cluster_of = Array.make total 0 in
   let core = ref 0 in
   for n = 0 to nodes - 1 do
@@ -85,7 +102,9 @@ let num_nodes t = t.num_nodes
 let num_clusters t = t.num_clusters
 
 let check_core t c =
-  if c < 0 || c >= t.num_cores then invalid_arg "Topology: core out of range"
+  if c < 0 || c >= t.num_cores then
+    invalid_arg
+      (Printf.sprintf "Topology: core %d outside 0..%d" c (t.num_cores - 1))
 
 let cluster_of t c =
   check_core t c;
@@ -101,13 +120,13 @@ let cores_of_node t n =
 let cores_of_cluster t cl =
   List.filter (fun c -> t.cluster_of.(c) = cl) (List.init t.num_cores Fun.id)
 
-let cluster_mask t c =
+let cluster_set t c =
   check_core t c;
-  t.cluster_mask.(c)
+  t.cluster_set.(c)
 
-let node_mask t c =
+let node_set t c =
   check_core t c;
-  t.node_mask.(c)
+  t.node_set.(c)
 
 let distance_rank t a b =
   check_core t a;

@@ -20,8 +20,10 @@ val heterogeneous : nodes:int -> cluster_sizes:int list -> t
     [~nodes:1 ~cluster_sizes:[4;4]]). *)
 
 val max_cores : int
-(** Upper bound on core count (sharer sets are stored as one bitmask in
-    an OCaml int). *)
+(** Upper bound on core count.  Sharer and membership sets are
+    multi-word {!Coreset}s, so the bound is a sanity limit on the
+    precomputed distance-rank matrix (quadratic in cores), not a
+    representation cap; currently 1024. *)
 
 val num_cores : t -> int
 val num_nodes : t -> int
@@ -44,11 +46,13 @@ val distance_rank : t -> int -> int -> int
 val distance_of_rank : int -> distance
 (** Inverse of the rank encoding ([3] and above map to [Cross_node]). *)
 
-val cluster_mask : t -> int -> int
-(** Bitmask of the cores sharing [c]'s cluster (including [c]). *)
+val cluster_set : t -> int -> Coreset.t
+(** Set of the cores sharing [c]'s cluster (including [c]).  Shared and
+    immutable: do not mutate. *)
 
-val node_mask : t -> int -> int
-(** Bitmask of the cores sharing [c]'s NUMA node (including [c]). *)
+val node_set : t -> int -> Coreset.t
+(** Set of the cores sharing [c]'s NUMA node (including [c]).  Shared
+    and immutable: do not mutate. *)
 
 val pp : Format.formatter -> t -> unit
 val pp_distance : Format.formatter -> distance -> unit

@@ -161,6 +161,26 @@ let serve_sharded_warm ~domains ~requests =
   ignore (Service.Shard.run_batch pool ~lines : Service.Serve.batch);
   fun () -> served (Service.Shard.run_batch pool ~lines)
 
+(* The many-core scalability workloads: a 256-core manycore machine
+   running barrier episodes.  many-core-central hammers one fetch-add
+   line with a 256-wide release fan-out — the widest sharer sets and
+   deepest same-timestamp event bursts the kernel produces;
+   many-core-tree spreads arrivals over a combining tree, so the event
+   mix shifts from one hot line to many lukewarm ones.  Both are pure
+   simulator workloads (no fault hook: a barrier that loses a wakeup
+   deadlocks rather than measuring anything). *)
+let many_core ~kind ~cores ~episodes ~work () =
+  let spec =
+    {
+      Armb_sync.Sync_barrier.cfg = P.manycore ~cores;
+      kind;
+      cores = List.init cores Fun.id;
+      episodes;
+      work;
+    }
+  in
+  (Armb_sync.Sync_barrier.run spec).Armb_sync.Sync_barrier.events
+
 (* ---------- harness ---------- *)
 
 let time f =
@@ -170,7 +190,7 @@ let time f =
   let events_per_sec = if events > 0 && wall_s > 0. then float_of_int events /. wall_s else 0. in
   (events, wall_s, events_per_sec)
 
-let run ?(quick = false) ?fault ?(progress = fun _ -> ()) () =
+let run ?(quick = false) ?fault ?only ?(progress = fun _ -> ()) () =
   (* Record whether a fault plan perturbed the measurement: a perturbed
      number must never be confused with a clean baseline.  The null plan
      counts as faults-off (the machine drops it at creation anyway).
@@ -195,6 +215,10 @@ let run ?(quick = false) ?fault ?(progress = fun _ -> ()) () =
         ("serve-zipf-warm", serve_zipf_warm ~requests:120);
         ("serve-sharded-cold", serve_sharded_cold ~domains:2 ~requests:120);
         ("serve-sharded-warm", serve_sharded_warm ~domains:2 ~requests:120);
+        ( "many-core-central",
+          many_core ~kind:Armb_sync.Sync_barrier.Central ~cores:256 ~episodes:2 ~work:64 );
+        ( "many-core-tree",
+          many_core ~kind:(Armb_sync.Sync_barrier.Tree 4) ~cores:256 ~episodes:2 ~work:64 );
       ]
     else
       [
@@ -207,7 +231,25 @@ let run ?(quick = false) ?fault ?(progress = fun _ -> ()) () =
         ("serve-zipf-warm", serve_zipf_warm ~requests:400);
         ("serve-sharded-cold", serve_sharded_cold ~domains:4 ~requests:400);
         ("serve-sharded-warm", serve_sharded_warm ~domains:4 ~requests:400);
+        ( "many-core-central",
+          many_core ~kind:Armb_sync.Sync_barrier.Central ~cores:256 ~episodes:32 ~work:64 );
+        ( "many-core-tree",
+          many_core ~kind:(Armb_sync.Sync_barrier.Tree 4) ~cores:256 ~episodes:32 ~work:64 );
       ]
+  in
+  let workloads =
+    match only with
+    | None -> workloads
+    | Some ids ->
+      let known = List.map fst workloads in
+      List.iter
+        (fun id ->
+          if not (List.mem id known) then
+            invalid_arg
+              (Printf.sprintf "Perf.run: unknown workload %S (valid: %s)" id
+                 (String.concat ", " known)))
+        ids;
+      List.filter (fun (name, _) -> List.mem name ids) workloads
   in
   let samples =
     List.map

@@ -2,8 +2,11 @@
 
     Runs a fixed set of representative simulator workloads — a slice of
     the Figure 3 store-store sweep, the full litmus catalogue, the
-    Figure 6(a) SPSC ring and a differential fuzz round — and reports
-    events processed, wall time and events/second for each.  The
+    Figure 6(a) SPSC ring, a differential fuzz round, the job service,
+    and two 256-core barrier workloads (many-core-central /
+    many-core-tree) that stress wide sharer sets and same-timestamp
+    event bursts — and reports events processed, wall time and
+    events/second for each.  The
     workloads are deterministic (fixed seeds); only the wall-clock
     measurements vary between runs.  Results serialize to
     [BENCH_perf.json] so successive PRs can track the kernel's
@@ -24,13 +27,20 @@ type results = {
 }
 
 val run :
-  ?quick:bool -> ?fault:Armb_fault.Plan.spec -> ?progress:(string -> unit) -> unit -> results
+  ?quick:bool ->
+  ?fault:Armb_fault.Plan.spec ->
+  ?only:string list ->
+  ?progress:(string -> unit) ->
+  unit ->
+  results
 (** Execute every workload.  [quick] shrinks iteration/trial counts
     (~5x) for CI smoke use; [fault] perturbs the machine-backed
     workloads with the given plan and stamps the results with its name
     so a perturbed measurement can never pass for a clean baseline (a
-    null plan counts as faults-off); [progress] receives one message
-    per workload as it starts. *)
+    null plan counts as faults-off); [only] restricts the run to the
+    named workloads, preserving the canonical order — an unknown name
+    raises [Invalid_argument] listing the valid ids; [progress]
+    receives one message per workload as it starts. *)
 
 val pp : Format.formatter -> results -> unit
 

@@ -91,6 +91,42 @@ let raspberrypi4 : Config.t =
     quantum = 64;
   }
 
+(* Scaled-out Kunpeng-flavoured machine for the many-core barrier
+   study: clusters of 8 cores, up to 8 clusters per NUMA node, as many
+   nodes as the core count needs.  Latencies and core resources are the
+   kunpeng916 numbers — the study varies the sharer-set width and the
+   synchronization pattern, not the per-hop cost model. *)
+
+let manycore_min = 8
+let manycore_max = Topology.max_cores
+
+let manycore_shape cores =
+  if cores < manycore_min || cores > manycore_max then
+    Error
+      (Printf.sprintf "manycore size %d outside %d..%d (Topology.max_cores)" cores
+         manycore_min manycore_max)
+  else if cores mod 8 <> 0 then
+    Error (Printf.sprintf "manycore size %d is not a multiple of 8 (one cluster)" cores)
+  else begin
+    let nodes = max 1 (cores / 64) in
+    if cores mod (8 * nodes) <> 0 then
+      Error
+        (Printf.sprintf
+           "manycore size %d does not split into %d uniform NUMA nodes of whole clusters"
+           cores nodes)
+    else Ok (nodes, cores / (8 * nodes))
+  end
+
+let manycore ~cores : Config.t =
+  match manycore_shape cores with
+  | Error m -> invalid_arg ("Platform.manycore: " ^ m)
+  | Ok (nodes, clusters_per_node) ->
+    {
+      kunpeng916 with
+      name = Printf.sprintf "manycore%d" cores;
+      topo = Topology.make ~nodes ~clusters_per_node ~cores_per_cluster:8;
+    }
+
 let all = [ kunpeng916; kirin960; kirin970; raspberrypi4 ]
 
 let by_name s =

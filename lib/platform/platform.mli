@@ -24,6 +24,26 @@ val kirin970 : Armb_cpu.Config.t
 val raspberrypi4 : Armb_cpu.Config.t
 (** 4xA72 at 1.5 GHz, single cluster. *)
 
+val manycore : cores:int -> Armb_cpu.Config.t
+(** Scaled-out server machine for the many-core barrier study: clusters
+    of 8 kunpeng916-calibrated cores, up to 8 clusters per NUMA node,
+    nodes added as the count grows (so 512 = 8 nodes x 8 clusters x 8
+    cores).  [cores] must be a multiple of 8 within
+    [{!manycore_min} .. {!manycore_max}] that splits into uniform
+    nodes; raises [Invalid_argument] with a sizing hint otherwise (use
+    {!manycore_shape} to validate without raising). *)
+
+val manycore_shape : int -> (int * int, string) result
+(** [manycore_shape cores] is [Ok (nodes, clusters_per_node)] when the
+    size is valid for {!manycore}, or [Error message] — front ends use
+    it to reject bad [--cores]/sweep sizes early with a clear message
+    instead of a deep topology failure. *)
+
+val manycore_min : int
+val manycore_max : int
+(** Smallest / largest valid {!manycore} size ([manycore_max] equals
+    [Armb_mem.Topology.max_cores]). *)
+
 val all : Armb_cpu.Config.t list
 
 val by_name : string -> Armb_cpu.Config.t option

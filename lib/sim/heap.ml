@@ -1,8 +1,19 @@
+(* 4-ary min-heap.  A wider node halves the tree depth, which is where
+   the cycles go when hundreds of cores post events at the same
+   timestamp: sift_down does one 4-way minimum per level instead of two
+   comparisons, and the key array stays in cache.  Callers pack a total
+   order into the integer key (the event queue packs (time, seq), so
+   keys are unique) — any correct min-heap therefore pops the same
+   sequence, and swapping the arity cannot change simulation results. *)
+
 type 'a t = {
   mutable keys : int array;
   mutable vals : 'a array;
   mutable size : int;
 }
+
+let branch_log = 2
+let branch = 1 lsl branch_log
 
 let create ?(capacity = 64) () =
   { keys = Array.make (max 1 capacity) 0; vals = [||]; size = 0 }
@@ -22,7 +33,7 @@ let grow h v =
 
 let rec sift_up h i =
   if i > 0 then begin
-    let p = (i - 1) / 2 in
+    let p = (i - 1) lsr branch_log in
     if h.keys.(i) < h.keys.(p) then begin
       let k = h.keys.(i) and v = h.vals.(i) in
       h.keys.(i) <- h.keys.(p);
@@ -34,18 +45,22 @@ let rec sift_up h i =
   end
 
 let rec sift_down h i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < h.size && h.keys.(l) < h.keys.(!smallest) then smallest := l;
-  if r < h.size && h.keys.(r) < h.keys.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    let s = !smallest in
-    let k = h.keys.(i) and v = h.vals.(i) in
-    h.keys.(i) <- h.keys.(s);
-    h.vals.(i) <- h.vals.(s);
-    h.keys.(s) <- k;
-    h.vals.(s) <- v;
-    sift_down h s
+  let first = (i lsl branch_log) + 1 in
+  if first < h.size then begin
+    let last = min (first + branch - 1) (h.size - 1) in
+    let smallest = ref i in
+    for c = first to last do
+      if h.keys.(c) < h.keys.(!smallest) then smallest := c
+    done;
+    if !smallest <> i then begin
+      let s = !smallest in
+      let k = h.keys.(i) and v = h.vals.(i) in
+      h.keys.(i) <- h.keys.(s);
+      h.vals.(i) <- h.vals.(s);
+      h.keys.(s) <- k;
+      h.vals.(s) <- v;
+      sift_down h s
+    end
   end
 
 let add h ~key v =

@@ -1,4 +1,4 @@
-(** Array-based binary min-heap, specialised to integer keys.
+(** Array-based 4-ary min-heap, specialised to integer keys.
 
     The simulation kernel orders events by (time, sequence) pairs; both
     are packed by the caller into a single comparison key plus payload.

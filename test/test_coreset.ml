@@ -1,0 +1,165 @@
+(* Unit and property tests for the multi-word core bitset.  The
+   properties check every operation against a sorted-int-list model,
+   with generators biased toward word boundaries (31/32, 63/64, ...)
+   where a shift/mask bug would hide. *)
+
+module Coreset = Armb_mem.Coreset
+
+let check = Alcotest.check
+
+(* ---------- unit: word boundaries ---------- *)
+
+let boundary_caps = [ 1; 31; 32; 33; 62; 63; 64; 65; 96; 511; 512; 1024 ]
+
+let test_boundary_bits () =
+  List.iter
+    (fun cap ->
+      let s = Coreset.create ~cores:cap in
+      check Alcotest.int "capacity" cap (Coreset.capacity s);
+      check Alcotest.int "words" ((cap + 31) / 32) (Coreset.words s);
+      (* set and clear the extreme bits of every word the set spans *)
+      let probes =
+        List.filter (fun i -> i >= 0 && i < cap)
+          [ 0; 30; 31; 32; 33; 62; 63; 64; 65; cap - 2; cap - 1 ]
+      in
+      List.iter
+        (fun i ->
+          Coreset.add s i;
+          if not (Coreset.mem s i) then Alcotest.failf "cap %d: bit %d lost" cap i)
+        probes;
+      check Alcotest.int
+        (Printf.sprintf "cap %d cardinal" cap)
+        (List.length (List.sort_uniq compare probes))
+        (Coreset.cardinal s);
+      List.iter
+        (fun i ->
+          Coreset.remove s i;
+          if Coreset.mem s i then Alcotest.failf "cap %d: bit %d sticky" cap i)
+        probes;
+      check Alcotest.bool "empty again" true (Coreset.is_empty s))
+    boundary_caps
+
+let test_bounds_checked () =
+  let s = Coreset.create ~cores:64 in
+  List.iter
+    (fun (name, f) ->
+      List.iter
+        (fun i ->
+          match f s i with
+          | _ -> Alcotest.failf "%s accepted out-of-range core %d" name i
+          | exception Invalid_argument _ -> ())
+        [ -1; 64; 1000 ])
+    [
+      ("add", fun s i -> Coreset.add s i);
+      ("remove", fun s i -> Coreset.remove s i);
+      ("mem", fun s i -> ignore (Coreset.mem s i));
+      ("set_only", fun s i -> Coreset.set_only s i);
+      ("any_except", fun s i -> ignore (Coreset.any_except s i));
+      ("cardinal_except", fun s i -> ignore (Coreset.cardinal_except s i));
+    ];
+  (match Coreset.create ~cores:0 with
+  | _ -> Alcotest.fail "zero capacity accepted"
+  | exception Invalid_argument _ -> ())
+
+let test_set_pair_and_only () =
+  let s = Coreset.create ~cores:512 in
+  Coreset.add s 100;
+  Coreset.set_only s 63;
+  check (Alcotest.list Alcotest.int) "set_only" [ 63 ] (Coreset.to_list s);
+  Coreset.set_pair s 31 480;
+  check (Alcotest.list Alcotest.int) "set_pair" [ 31; 480 ] (Coreset.to_list s);
+  Coreset.set_pair s 64 64;
+  check (Alcotest.list Alcotest.int) "set_pair same" [ 64 ] (Coreset.to_list s)
+
+(* ---------- properties vs a sorted-list model ---------- *)
+
+(* capacities and members hug the word boundaries *)
+let cap_gen = QCheck.Gen.oneofl boundary_caps
+
+let member_gen cap =
+  QCheck.Gen.(
+    oneof
+      [
+        int_bound (cap - 1);
+        (* cluster around multiples of 32 *)
+        map
+          (fun (w, d) -> min (cap - 1) (max 0 ((w * 32) + d - 2)))
+          (pair (int_bound (((cap + 31) / 32) - 1)) (int_bound 4));
+      ])
+
+let set_gen =
+  QCheck.Gen.(
+    cap_gen >>= fun cap ->
+    list_size (int_bound 24) (member_gen cap) >>= fun xs -> return (cap, xs))
+
+let arb_set =
+  QCheck.make
+    ~print:(fun (cap, xs) ->
+      Printf.sprintf "cap=%d members=[%s]" cap (String.concat ";" (List.map string_of_int xs)))
+    set_gen
+
+let build (cap, xs) =
+  let s = Coreset.create ~cores:cap in
+  List.iter (Coreset.add s) xs;
+  (s, List.sort_uniq compare xs)
+
+let prop_to_list =
+  QCheck.Test.make ~name:"to_list = sorted model" ~count:500 arb_set (fun input ->
+      let s, model = build input in
+      Coreset.to_list s = model)
+
+let prop_cardinal =
+  QCheck.Test.make ~name:"cardinal/cardinal_except/any_except" ~count:500
+    (QCheck.pair arb_set QCheck.small_nat)
+    (fun ((cap, xs), k) ->
+      let s, model = build (cap, xs) in
+      let i = k mod cap in
+      let except = List.filter (fun x -> x <> i) model in
+      Coreset.cardinal s = List.length model
+      && Coreset.cardinal_except s i = List.length except
+      && Coreset.any_except s i = (except <> []))
+
+let prop_remove =
+  QCheck.Test.make ~name:"remove tracks model" ~count:500
+    (QCheck.pair arb_set QCheck.small_nat)
+    (fun ((cap, xs), k) ->
+      let s, model = build (cap, xs) in
+      let i = k mod cap in
+      Coreset.remove s i;
+      Coreset.to_list s = List.filter (fun x -> x <> i) model)
+
+let prop_intersects =
+  QCheck.Test.make ~name:"intersects/outside_except vs model" ~count:500
+    (QCheck.triple arb_set (QCheck.list_of_size (QCheck.Gen.int_bound 24) QCheck.small_nat)
+       QCheck.small_nat)
+    (fun ((cap, xs), ys, k) ->
+      let a, ma = build (cap, xs) in
+      let b, mb = build (cap, List.map (fun y -> y mod cap) ys) in
+      let except = k mod cap in
+      let inter = List.exists (fun x -> List.mem x mb) ma in
+      let outside = List.exists (fun x -> (not (List.mem x mb)) && x <> except) ma in
+      Coreset.intersects a b = inter
+      && Coreset.outside_except a b ~except = outside)
+
+let prop_copy_equal =
+  QCheck.Test.make ~name:"copy is equal, then diverges" ~count:300 arb_set (fun input ->
+      let s, model = build input in
+      let c = Coreset.copy s in
+      let was_equal = Coreset.equal s c in
+      (* mutate the copy: flip the smallest member (or add 0) *)
+      (match model with [] -> Coreset.add c 0 | x :: _ -> Coreset.remove c x);
+      was_equal && not (Coreset.equal s c) && Coreset.to_list s = model)
+
+let () =
+  Alcotest.run "armb_coreset"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "word boundaries" `Quick test_boundary_bits;
+          Alcotest.test_case "bounds checked" `Quick test_bounds_checked;
+          Alcotest.test_case "set_only / set_pair" `Quick test_set_pair_and_only;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_to_list; prop_cardinal; prop_remove; prop_intersects; prop_copy_equal ] );
+    ]

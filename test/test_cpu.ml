@@ -378,6 +378,29 @@ let test_spawn_validation () =
     (Machine.Simulation_error "spawn: core 99 out of range") (fun () ->
       Machine.spawn m ~core:99 (fun _ -> ()))
 
+(* 128 threads on a 128-core machine — past both the old 62-core sharer
+   bound and the old Hashtbl-keyed thread table.  Every core fetch-adds
+   a shared line and reads a line every other core also reads, so the
+   sharer set spans all four bitset words; the counter proves no update
+   and no thread was lost. *)
+let test_wide_machine_run () =
+  let wide = { cfg with topo = Topology.make ~nodes:2 ~clusters_per_node:8 ~cores_per_cluster:8 } in
+  let n = Topology.num_cores wide.topo in
+  check Alcotest.int "128 cores" 128 n;
+  let m = Machine.create wide in
+  let ctr = Machine.alloc_line m in
+  let shared = Machine.alloc_line m in
+  for core = 0 to n - 1 do
+    Machine.spawn m ~core (fun c ->
+        ignore (Core.await c (Core.load c shared));
+        ignore (Core.await c (Core.fetch_add c ctr 1L));
+        ignore (Core.await c (Core.load c shared)))
+  done;
+  Machine.run_exn m;
+  check Alcotest.int64 "every core counted once" (Int64.of_int n)
+    (Armb_mem.Memsys.load_value (Machine.mem m) ~addr:ctr);
+  check Alcotest.bool "time advanced" true (Machine.elapsed m > 0)
+
 let test_throughput_freq () =
   let m = Machine.create cfg in
   Machine.spawn m ~core:0 (fun c -> Core.compute c 4000);
@@ -507,6 +530,7 @@ let () =
         [
           Alcotest.test_case "line allocation" `Quick test_alloc_alignment;
           Alcotest.test_case "spawn validation" `Quick test_spawn_validation;
+          Alcotest.test_case "128-core machine" `Quick test_wide_machine_run;
           Alcotest.test_case "throughput conversion" `Quick test_throughput_freq;
           Alcotest.test_case "op counters" `Quick test_counters_track_ops;
           Alcotest.test_case "quantum interleaving" `Quick test_quantum_interleaving;

@@ -53,11 +53,25 @@ let test_topo_heterogeneous () =
 let test_topo_bounds () =
   let t = topo2x2x4 () in
   Alcotest.check_raises "core out of range"
-    (Invalid_argument "Topology: core out of range") (fun () ->
+    (Invalid_argument "Topology: core 16 outside 0..15") (fun () ->
       ignore (Topology.distance t 0 16));
   Alcotest.check_raises "too many cores"
-    (Invalid_argument "Topology: too many cores") (fun () ->
-      ignore (Topology.make ~nodes:2 ~clusters_per_node:8 ~cores_per_cluster:4))
+    (Invalid_argument
+       "Topology.make: 4x16x17 = 1088 cores exceeds the 1024-core limit") (fun () ->
+      ignore (Topology.make ~nodes:4 ~clusters_per_node:16 ~cores_per_cluster:17))
+
+(* The refactor's point: topologies well past the old 62-core int-mask
+   cap, with directory classification still correct at the far end. *)
+let test_topo_wide () =
+  let t = Topology.make ~nodes:8 ~clusters_per_node:8 ~cores_per_cluster:8 in
+  check Alcotest.int "cores" 512 (Topology.num_cores t);
+  check dist "same cluster high" Topology.Same_cluster (Topology.distance t 504 511);
+  check dist "same node high" Topology.Same_node (Topology.distance t 448 511);
+  check dist "cross node high" Topology.Cross_node (Topology.distance t 0 511);
+  check Alcotest.bool "node set membership" true
+    (Armb_mem.Coreset.mem (Topology.node_set t 511) 448);
+  check Alcotest.bool "cluster set excludes neighbor cluster" false
+    (Armb_mem.Coreset.mem (Topology.cluster_set t 511) 503)
 
 let test_topo_node_listing () =
   let t = topo2x2x4 () in
@@ -300,6 +314,7 @@ let () =
           Alcotest.test_case "distance" `Quick test_topo_distance;
           Alcotest.test_case "heterogeneous (big.LITTLE)" `Quick test_topo_heterogeneous;
           Alcotest.test_case "bounds checking" `Quick test_topo_bounds;
+          Alcotest.test_case "wide topology" `Quick test_topo_wide;
           Alcotest.test_case "node listing" `Quick test_topo_node_listing;
         ] );
       ("latency", [ Alcotest.test_case "transfer" `Quick test_latency_transfer ]);

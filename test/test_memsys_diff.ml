@@ -326,6 +326,32 @@ let test_diff_biglittle () =
     run_trace ~topo:biglittle_topo ~lat:biglittle_lat ~seed ~steps:20_000
   done
 
+(* QCheck: random topology shapes (anything the int-mask seed can
+   represent, i.e. <= 62 cores) and random trace seeds.  The wide-bitset
+   directory must agree with the seed semantics on every one — this is
+   the property behind "bit-identical at <= 62 cores", with shapes the
+   two hand-picked suites above don't cover (single-core clusters,
+   many tiny clusters, asymmetric node counts). *)
+let shape_gen =
+  QCheck.Gen.(
+    triple (int_range 1 2) (int_range 1 4) (int_range 1 7) >>= fun shape ->
+    pair (return shape) (int_range 1 1_000_000))
+
+let arb_shape =
+  QCheck.make
+    ~print:(fun ((n, c, k), seed) ->
+      Printf.sprintf "%d nodes x %d clusters x %d cores, seed %d" n c k seed)
+    shape_gen
+
+let prop_any_shape_matches_seed =
+  QCheck.Test.make ~name:"any <=62-core shape matches the seed directory" ~count:40
+    arb_shape
+    (fun ((nodes, clusters_per_node, cores_per_cluster), seed) ->
+      let topo = Topology.make ~nodes ~clusters_per_node ~cores_per_cluster in
+      (* run_trace raises on the first divergence *)
+      run_trace ~topo ~lat:kunpeng_lat ~seed ~steps:3_000;
+      true)
+
 let () =
   Alcotest.run "memsys-diff"
     [
@@ -333,5 +359,6 @@ let () =
         [
           test_case "kunpeng916-like topology" `Quick test_diff_kunpeng;
           test_case "big.LITTLE topology" `Quick test_diff_biglittle;
+          QCheck_alcotest.to_alcotest prop_any_shape_matches_seed;
         ] );
     ]

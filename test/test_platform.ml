@@ -47,6 +47,49 @@ let test_comm_pairs_well_formed () =
       (Topology.node_of cross.cfg.Config.topo a <> Topology.node_of cross.cfg.Config.topo b)
   | _ -> assert false
 
+let test_manycore_shapes () =
+  (* valid sizes: nodes x clusters x 8 as documented *)
+  List.iter
+    (fun (cores, nodes, clusters) ->
+      (match P.manycore_shape cores with
+      | Ok (n, c) ->
+        check Alcotest.(pair int int) (Printf.sprintf "%d-core shape" cores) (nodes, clusters)
+          (n, c)
+      | Error m -> Alcotest.failf "%d cores rejected: %s" cores m);
+      let cfg = P.manycore ~cores in
+      Config.validate cfg;
+      check Alcotest.int "core count" cores (Topology.num_cores cfg.Config.topo);
+      check Alcotest.int "node count" nodes (Topology.num_nodes cfg.Config.topo))
+    [ (8, 1, 1); (16, 1, 2); (64, 1, 8); (128, 2, 8); (256, 4, 8); (512, 8, 8) ]
+
+let test_manycore_bad_sizes () =
+  List.iter
+    (fun cores ->
+      match P.manycore_shape cores with
+      | Error _ -> (
+        (* the constructor must agree with the validator *)
+        match P.manycore ~cores with
+        | _ -> Alcotest.failf "manycore accepted invalid size %d" cores
+        | exception Invalid_argument _ -> ())
+      | Ok _ -> Alcotest.failf "manycore_shape accepted invalid size %d" cores)
+    [ 0; 4; 7; 12; 100; P.manycore_max + 8; -8 ];
+  check Alcotest.int "max tracks Topology.max_cores" Topology.max_cores P.manycore_max
+
+let test_run_config_core_bounds () =
+  let module RC = Armb_platform.Run_config in
+  (* in-range pair is fine, including on a wide manycore machine *)
+  ignore (RC.make ~cores:(0, 511) (P.manycore ~cores:512) : RC.t);
+  match RC.make ~cores:(0, 56) P.kunpeng916 with
+  | _ -> Alcotest.fail "out-of-range core accepted"
+  | exception Invalid_argument m ->
+    check Alcotest.bool "message names the range and platform" true
+      (let contains ~sub s =
+         let n = String.length sub and l = String.length s in
+         let rec go i = i + n <= l && (String.sub s i n = sub || go (i + 1)) in
+         go 0
+       in
+       contains ~sub:"0..55" m && contains ~sub:"kunpeng916" m)
+
 let test_server_deeper_than_mobile () =
   (* the calibration axis behind Observation 4 *)
   let k = P.kunpeng916.Config.lat and m = P.kirin960.Config.lat in
@@ -103,6 +146,12 @@ let () =
           Alcotest.test_case "comm pairs" `Quick test_comm_pairs_well_formed;
           Alcotest.test_case "server vs mobile calibration" `Quick
             test_server_deeper_than_mobile;
+        ] );
+      ( "manycore",
+        [
+          Alcotest.test_case "valid shapes" `Quick test_manycore_shapes;
+          Alcotest.test_case "invalid sizes" `Quick test_manycore_bad_sizes;
+          Alcotest.test_case "run-config core bounds" `Quick test_run_config_core_bounds;
         ] );
       ( "characterize",
         [

@@ -163,6 +163,31 @@ let prop_eq_fifo_order =
       in
       strictly_sorted order && List.length order = !counter)
 
+(* Hundreds of cores posting at one timestamp — the immediate-ring fast
+   path: a burst scheduled from inside an event at its own cycle must
+   drain in FIFO order across several ring growths (initial capacity is
+   64), finish before anything at a later time, and interleave correctly
+   with heap-resident future events. *)
+let test_eq_same_cycle_burst () =
+  let q = Event_queue.create () in
+  let log = ref [] in
+  let burst = 512 in
+  Event_queue.schedule q ~at:50 (fun () ->
+      for i = 0 to burst - 1 do
+        Event_queue.schedule q ~at:50 (fun () ->
+            log := i :: !log;
+            (* reentrant same-cycle scheduling from a ring event *)
+            if i < 8 then
+              Event_queue.schedule q ~at:50 (fun () -> log := (burst + i) :: !log))
+      done);
+  let after_burst = ref (-1) in
+  Event_queue.schedule q ~at:51 (fun () -> after_burst := List.length !log);
+  Event_queue.run q;
+  let expect = List.init burst Fun.id @ List.init 8 (fun i -> burst + i) in
+  check (Alcotest.list Alcotest.int) "FIFO across ring growth" expect (List.rev !log);
+  check Alcotest.int "later event fires after the whole burst" (burst + 8) !after_burst;
+  check Alcotest.int "nothing pending" 0 (Event_queue.pending q)
+
 (* Push the per-queue sequence counter past its 24-bit field so the
    pending events get renumbered, and check ordering still holds. *)
 let test_eq_seq_renumber () =
@@ -342,6 +367,7 @@ let () =
           Alcotest.test_case "run ~until" `Quick test_eq_until;
           Alcotest.test_case "run ~until advances clock on drain" `Quick
             test_eq_until_empty_queue;
+          Alcotest.test_case "same-cycle burst (ring path)" `Quick test_eq_same_cycle_burst;
           QCheck_alcotest.to_alcotest prop_eq_fifo_order;
           Alcotest.test_case "sequence renumbering" `Slow test_eq_seq_renumber;
         ] );

@@ -249,6 +249,88 @@ let test_ds_delegation_beats_ticket_on_queue () =
   check Alcotest.bool "delegation wins under contention" true
     (t S.Ds_bench.Dsynch > t S.Ds_bench.Ticket)
 
+(* ---------- Barrier primitives ---------- *)
+
+let barrier_spec ~cfg ~kind ~cores =
+  { S.Sync_barrier.cfg; kind; cores; episodes = 3; work = 40 }
+
+let all_kinds = [ S.Sync_barrier.Central; S.Sync_barrier.Tree 4; S.Sync_barrier.Dissemination ]
+
+(* 12 participants: not a power of two (exercises the dissemination
+   wrap-around) and not a multiple of the tree arity (ragged leaf). *)
+let test_barrier_all_kinds_complete () =
+  List.iter
+    (fun kind ->
+      let cores = List.init 12 (fun i -> 2 * i) in
+      let r = S.Sync_barrier.run (barrier_spec ~cfg:P.kunpeng916 ~kind ~cores) in
+      let name = S.Sync_barrier.kind_name kind in
+      check Alcotest.int (name ^ " episodes") 3 r.S.Sync_barrier.episodes;
+      check Alcotest.bool (name ^ " cycles") true (r.S.Sync_barrier.cycles > 0))
+    all_kinds
+
+let test_barrier_deterministic () =
+  List.iter
+    (fun kind ->
+      let run () =
+        (S.Sync_barrier.run
+           (barrier_spec ~cfg:P.kunpeng916 ~kind ~cores:(List.init 8 Fun.id)))
+          .S.Sync_barrier.cycles
+      in
+      check Alcotest.int (S.Sync_barrier.kind_name kind ^ " deterministic") (run ())
+        (run ()))
+    all_kinds
+
+(* 65 participants on a 72-core machine: the sharer set of the sense
+   line spans three 32-bit bitset words and includes bit 64 exactly at
+   a word boundary. *)
+let test_barrier_past_word_boundary () =
+  let cfg = P.manycore ~cores:72 in
+  List.iter
+    (fun kind ->
+      let r = S.Sync_barrier.run (barrier_spec ~cfg ~kind ~cores:(List.init 65 Fun.id)) in
+      check Alcotest.bool
+        (S.Sync_barrier.kind_name kind ^ " wide run")
+        true
+        (r.S.Sync_barrier.cycles > 0))
+    all_kinds
+
+let test_barrier_single_core () =
+  List.iter
+    (fun kind ->
+      let r = S.Sync_barrier.run (barrier_spec ~cfg:P.raspberrypi4 ~kind ~cores:[ 0 ]) in
+      check Alcotest.bool (S.Sync_barrier.kind_name kind ^ " n=1") true
+        (r.S.Sync_barrier.cycles > 0))
+    all_kinds
+
+let test_barrier_tree_beats_central_at_128 () =
+  let cpe kind =
+    (S.Sync_barrier.run
+       {
+         S.Sync_barrier.cfg = P.manycore ~cores:128;
+         kind;
+         cores = List.init 128 Fun.id;
+         episodes = 2;
+         work = 40;
+       })
+      .S.Sync_barrier.cycles_per_episode
+  in
+  check Alcotest.bool "tree4 < central at 128 cores" true
+    (cpe (S.Sync_barrier.Tree 4) < cpe S.Sync_barrier.Central)
+
+let test_barrier_bad_specs () =
+  let spec = barrier_spec ~cfg:P.raspberrypi4 ~kind:S.Sync_barrier.Central ~cores:[ 0 ] in
+  List.iter
+    (fun bad ->
+      match S.Sync_barrier.run bad with
+      | _ -> Alcotest.fail "bad spec accepted"
+      | exception Invalid_argument _ -> ())
+    [
+      { spec with cores = [] };
+      { spec with episodes = 0 };
+      { spec with work = -1 };
+      { spec with kind = S.Sync_barrier.Tree 1 };
+    ]
+
 (* ---------- Sim_alloc ---------- *)
 
 let test_sim_alloc_recycles () =
@@ -318,6 +400,16 @@ let () =
           Alcotest.test_case "hash table under every lock" `Slow test_ds_hash_all_locks;
           Alcotest.test_case "delegation beats ticket" `Slow
             test_ds_delegation_beats_ticket_on_queue;
+        ] );
+      ( "barrier",
+        [
+          Alcotest.test_case "all kinds complete" `Quick test_barrier_all_kinds_complete;
+          Alcotest.test_case "deterministic" `Quick test_barrier_deterministic;
+          Alcotest.test_case "past word boundary" `Slow test_barrier_past_word_boundary;
+          Alcotest.test_case "single core" `Quick test_barrier_single_core;
+          Alcotest.test_case "tree beats central at 128" `Slow
+            test_barrier_tree_beats_central_at_128;
+          Alcotest.test_case "bad specs" `Quick test_barrier_bad_specs;
         ] );
       ("sim-alloc", [ Alcotest.test_case "recycling" `Quick test_sim_alloc_recycles ]);
     ]

@@ -36,6 +36,44 @@ let test_dedup_bad_cores () =
   | _ -> Alcotest.fail "bad stage core list accepted"
   | exception Invalid_argument _ -> ()
 
+let test_barrier_study_small_sweep () =
+  let t = W.Barrier_study.run ~sizes:[ 8; 16 ] ~episodes:2 ~work:20 () in
+  check Alcotest.int "rows" 2 (List.length t.W.Barrier_study.rows);
+  List.iter
+    (fun (r : W.Barrier_study.row) ->
+      check Alcotest.bool "central cpe positive" true (r.central.cycles_per_episode > 0.);
+      check Alcotest.bool "tree cpe positive" true (r.tree.cycles_per_episode > 0.);
+      check Alcotest.bool "dissem cpe positive" true
+        (r.dissemination.cycles_per_episode > 0.))
+    t.W.Barrier_study.rows
+
+let test_barrier_study_crossover_found () =
+  (* central wins at 8, the tree must win by 256: the crossover is in
+     between and is reported *)
+  let t = W.Barrier_study.run ~sizes:[ 8; 256 ] ~episodes:2 ~work:20 () in
+  match t.W.Barrier_study.crossover with
+  | Some c -> check Alcotest.int "crossover at the large size" 256 c
+  | None -> Alcotest.fail "no crossover up to 256 cores"
+
+let test_barrier_study_bad_sizes () =
+  List.iter
+    (fun sizes ->
+      match W.Barrier_study.run ~sizes () with
+      | _ -> Alcotest.fail "bad sweep size accepted"
+      | exception Invalid_argument _ -> ())
+    [ []; [ 12 ]; [ 4 ]; [ 2048 ]; [ 8; 0 ] ]
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_barrier_study_json () =
+  let t = W.Barrier_study.run ~sizes:[ 8 ] ~episodes:1 ~work:10 () in
+  let json = W.Barrier_study.to_json t in
+  check Alcotest.bool "schema tag" true (contains ~sub:"armb-barrier-study-v1" json);
+  check Alcotest.bool "row tag" true (contains ~sub:"\"cores\": 8" json)
+
 let test_floorplan_matches_oracle () =
   (* the run itself raises if the parallel result differs from the
      sequential oracle *)
@@ -75,6 +113,13 @@ let () =
           Alcotest.test_case "variant ordering" `Slow test_dedup_ordering_of_variants;
           Alcotest.test_case "workload sizes" `Slow test_dedup_workload_sizes;
           Alcotest.test_case "stage core validation" `Quick test_dedup_bad_cores;
+        ] );
+      ( "barrier-study",
+        [
+          Alcotest.test_case "small sweep" `Quick test_barrier_study_small_sweep;
+          Alcotest.test_case "crossover found" `Slow test_barrier_study_crossover_found;
+          Alcotest.test_case "bad sizes" `Quick test_barrier_study_bad_sizes;
+          Alcotest.test_case "json" `Quick test_barrier_study_json;
         ] );
       ( "floorplan",
         [
