@@ -1,7 +1,7 @@
 (* armb: command-line front end of the library.
 
    Subcommands: platforms, model, tipping, observations, advise, litmus,
-   check, ring, report, fuzz, perturb, perf, trace, serve, batch.
+   check, fix, opt, ring, report, fuzz, perturb, perf, trace, serve, batch.
    See `armb --help`. *)
 
 open Cmdliner
@@ -653,6 +653,123 @@ let fix_cmd =
     Term.(const run $ run_config ~trials_default:60 () $ test_name $ all $ strip $ soak
           $ json $ out $ max_edits $ budget)
 
+(* ---------- opt ---------- *)
+
+module Opt = Armb_opt.Optimizer
+module Opt_verify = Armb_opt.Verify
+module Opt_report = Armb_opt.Report
+module Opt_soak = Armb_opt.Soak
+
+let opt_cmd =
+  let test_name =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"NAME"
+             ~doc:"Program to optimize: any catalogue litmus test or control-flow test, \
+                   plus the +overfenced variants (e.g. $(b,MP+overfenced)).")
+  in
+  let all = Arg.(value & flag & info [ "all" ] ~doc:"Optimize the whole catalogue sweep.") in
+  let soak =
+    Arg.(value & opt int 0
+         & info [ "soak" ] ~docv:"N"
+             ~doc:"Optimizer soak: N rounds of random CFG programs (loops included), \
+                   over-fenced, optimized and re-verified; fails on any unsoundness or \
+                   barrier-count increase.")
+  in
+  let algorithm =
+    Arg.(value & opt string "second-chance"
+         & info [ "algorithm" ] ~docv:"ALGO"
+             ~doc:"Placement algorithm: $(b,single-bb), $(b,linear-scan) or \
+                   $(b,second-chance).")
+  in
+  let unroll =
+    Arg.(value & opt int 2
+         & info [ "unroll" ] ~docv:"K" ~doc:"Loop unroll bound for slicing and verification.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON instead of Markdown.") in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Also write the report to FILE.")
+  in
+  let no_cost =
+    Arg.(value & flag
+         & info [ "no-cost" ]
+             ~doc:"Skip platform costing (and with it the slower-platform revert guard).")
+  in
+  let min_improved =
+    Arg.(value & opt int 0
+         & info [ "min-improved" ] ~docv:"N"
+             ~doc:"Fail unless at least N programs improved (the CI guard).")
+  in
+  let run (rc : RC.t) test_name all soak algo_s unroll json out no_cost min_improved =
+    let algorithm =
+      match Opt.algorithm_of_string algo_s with
+      | Some a -> a
+      | None ->
+        Printf.eprintf "opt: unknown algorithm %S (single-bb | linear-scan | second-chance)\n"
+          algo_s;
+        exit 2
+    in
+    let cost = not no_cost in
+    let finish results =
+      let text = if json then Opt_report.json results else Opt_report.markdown results in
+      print_string text;
+      (match out with None -> () | Some path -> write_out path text);
+      let unsound =
+        List.filter (fun (r : Opt.result) -> not r.Opt.verdict.Opt_verify.sound) results
+      in
+      let increase =
+        List.filter (fun (r : Opt.result) -> r.Opt.output_fences > r.Opt.input_fences) results
+      in
+      let improved = List.length (List.filter Opt.improved results) in
+      List.iter
+        (fun (r : Opt.result) -> Printf.eprintf "opt: UNSOUND on %s: %s\n" r.Opt.name r.Opt.verdict.Opt_verify.detail)
+        unsound;
+      List.iter
+        (fun (r : Opt.result) ->
+          Printf.eprintf "opt: barrier count increased on %s (%d -> %d)\n" r.Opt.name
+            r.Opt.input_fences r.Opt.output_fences)
+        increase;
+      if unsound <> [] || increase <> [] then exit 1;
+      if improved < min_improved then begin
+        Printf.eprintf "opt: only %d program(s) improved (expected at least %d)\n" improved
+          min_improved;
+        exit 1
+      end
+    in
+    if soak > 0 then begin
+      let r = Opt_soak.run ~rounds:soak ~seed:rc.seed ~algorithm ~unroll () in
+      Format.printf "%a@." Opt_soak.pp_report r;
+      if not (Opt_soak.ok r) then exit 1
+    end
+    else if all then
+      finish (Opt.sweep ~algorithm ~unroll ~cost ~trials:rc.trials ~seed:rc.seed ())
+    else
+      match test_name with
+      | None ->
+        Printf.eprintf "opt: give a program NAME, or --all, or --soak N\n";
+        exit 2
+      | Some n -> (
+        match Opt.find_input n with
+        | None ->
+          Printf.eprintf "unknown program %S; available: %s\n" n
+            (String.concat ", "
+               (List.map
+                  (fun (p : Armb_litmus.Cfg.program) -> p.Armb_litmus.Cfg.name)
+                  (Opt.sweep_inputs ())));
+          exit 1
+        | Some p ->
+          finish [ Opt.optimize ~algorithm ~unroll ~cost ~trials:rc.trials ~seed:rc.seed p ])
+  in
+  Cmd.v
+    (Cmd.info "opt"
+       ~doc:"Whole-program fence optimization: RPO barrier merging over the CFG IR plus \
+             cost-ranked placement (single-bb / linear-scan / second-chance), verified \
+             against the exhaustive WMM enumerator (loop-free) or bounded unrolling with \
+             the happens-before sanitizer (loops), and priced per platform on the timing \
+             simulator.")
+    Term.(const run $ run_config ~trials_default:30 () $ test_name $ all $ soak $ algorithm
+          $ unroll $ json $ out $ no_cost $ min_improved)
+
 (* ---------- trace ---------- *)
 
 let trace_cmd =
@@ -1034,6 +1151,7 @@ let () =
             litmus_cmd;
             check_cmd;
             fix_cmd;
+            opt_cmd;
             ring_cmd;
             report_cmd;
             fuzz_cmd;

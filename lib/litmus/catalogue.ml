@@ -265,3 +265,144 @@ let all =
     two_plus_two_w_dmb;
     iriw_addr;
   ]
+
+(* ---------- control-flow tests ---------- *)
+
+(* Loop- and branch-shaped programs for the fence optimizer.  They live
+   in a separate list ([all] is pinned by the golden digests); [armb
+   check]/[armb fix] see them through their bounded-unroll slices
+   ({!cfg_slices}). *)
+
+(* The producer used by every spin-wait MP variant below. *)
+let spin_producer = Cfg.of_thread [ st "data" 23L; fence F_dmb_st; st "flag" 1L ]
+
+let spin_consumer ~poll_body ~done_body =
+  Cfg.cfg ~entry:"poll"
+    [
+      Cfg.blk "poll" ~term:(Cfg.branch "r1" ~nonzero:"done" ~zero:"poll") poll_body;
+      Cfg.blk "done" done_body;
+    ]
+
+let spin_mp =
+  {
+    Cfg.name = "MP+spin";
+    description =
+      "MP with a spin-wait consumer: T1 polls flag in a loop, then reads data after \
+       the loop exits. The branch gives only a control dependency to the data load — \
+       no ordering on ARM — so the stale read survives the spin.";
+    init = [ ("data", 0L); ("flag", 0L) ];
+    threads =
+      [
+        spin_producer;
+        spin_consumer ~poll_body:[ ld "flag" "r1" ] ~done_body:[ ld "data" "r2" ];
+      ];
+    interesting = (fun o -> get o "1:r1" = 1L && get o "1:r2" <> 23L);
+    expect_tso = false;
+    expect_wmm = true;
+  }
+
+let spin_mp_dmb =
+  {
+    spin_mp with
+    Cfg.name = "MP+spin+dmb.ld";
+    description = "Spin-wait MP with DMB ld after the loop, before the data read: forbidden.";
+    threads =
+      [
+        spin_producer;
+        spin_consumer ~poll_body:[ ld "flag" "r1" ]
+          ~done_body:[ fence F_dmb_ld; ld "data" "r2" ];
+      ];
+    expect_wmm = false;
+  }
+
+let flag_poll_acquire =
+  {
+    spin_mp with
+    Cfg.name = "MP+spin+ldar";
+    description =
+      "Spin-wait MP polling with a load-acquire: the iteration that sees the flag \
+       orders everything after it, so the data read is fresh. Forbidden.";
+    threads =
+      [
+        spin_producer;
+        spin_consumer
+          ~poll_body:[ ld ~acquire:true "flag" "r1" ]
+          ~done_body:[ ld "data" "r2" ];
+      ];
+    expect_wmm = false;
+  }
+
+let spin_mp_full =
+  {
+    spin_mp with
+    Cfg.name = "MP+spin+dmb.fulls";
+    description =
+      "Spin-wait MP over-fenced with DMB full on both sides (producer between the \
+       stores, consumer inside the poll loop). Sound but overkill: the optimizer \
+       should weaken producer to DMB st and the loop fence to DMB ld.";
+    threads =
+      [
+        Cfg.of_thread [ st "data" 23L; fence F_dmb_full; st "flag" 1L ];
+        spin_consumer
+          ~poll_body:[ ld "flag" "r1"; fence F_dmb_full ]
+          ~done_body:[ ld "data" "r2" ];
+      ];
+    expect_wmm = false;
+  }
+
+let cond_pub =
+  {
+    Cfg.name = "MP+cond";
+    description =
+      "Branch-shaped MP: T1 reads flag and only reads data on the nonzero arm of a \
+       diamond. The branch is a control dependency to a LOAD, which ARM does not \
+       order — the stale read is still allowed despite the producer's DMB st.";
+    init = [ ("data", 0L); ("flag", 0L) ];
+    threads =
+      [
+        spin_producer;
+        Cfg.cfg
+          [
+            Cfg.blk "b0" ~term:(Cfg.branch "r1" ~nonzero:"read" ~zero:"skip")
+              [ ld "flag" "r1" ];
+            Cfg.blk "read" ~term:(Cfg.goto "join") [ ld "data" "r2" ];
+            Cfg.blk "skip" ~term:(Cfg.goto "join") [];
+            Cfg.blk "join" [];
+          ];
+      ];
+    interesting = (fun o -> get o "1:r1" = 1L && get o "1:r2" <> 23L);
+    expect_tso = false;
+    expect_wmm = true;
+  }
+
+let cond_pub_isb =
+  {
+    cond_pub with
+    Cfg.name = "MP+cond+isb";
+    description =
+      "Branch-shaped MP with ISB at the head of the read arm: ctrl+ISB orders the \
+       flag read before the data read. Forbidden.";
+    threads =
+      [
+        spin_producer;
+        Cfg.cfg
+          [
+            Cfg.blk "b0" ~term:(Cfg.branch "r1" ~nonzero:"read" ~zero:"skip")
+              [ ld "flag" "r1" ];
+            Cfg.blk "read" ~term:(Cfg.goto "join") [ fence F_isb; ld "data" "r2" ];
+            Cfg.blk "skip" ~term:(Cfg.goto "join") [];
+            Cfg.blk "join" [];
+          ];
+      ];
+    expect_wmm = false;
+  }
+
+let cfg_all = [ spin_mp; spin_mp_dmb; flag_poll_acquire; spin_mp_full; cond_pub; cond_pub_isb ]
+
+let cfg_slices ?unroll () =
+  List.concat_map
+    (fun (p : Cfg.program) ->
+      List.mapi
+        (fun i s -> Cfg.slice_test ~name:(Printf.sprintf "%s@s%d" p.Cfg.name i) p s)
+        (Cfg.slices ?unroll p))
+    cfg_all

@@ -61,3 +61,37 @@ val iriw_addr : Lang.test
     the paper's footnote 2 relies on. *)
 
 val all : Lang.test list
+
+(** {2 Control-flow tests}
+
+    Loop- and branch-shaped programs for the fence optimizer, kept out
+    of [all] (whose behavior is pinned by the golden digests). *)
+
+val spin_mp : Cfg.program
+(** MP with a spin-wait consumer: the poll loop's branch is only a
+    control dependency to the data {e load}, so the stale read is still
+    allowed. *)
+
+val spin_mp_dmb : Cfg.program
+(** Spin-wait MP with DMB ld between loop exit and data read: forbidden. *)
+
+val flag_poll_acquire : Cfg.program
+(** Spin-wait MP polling with LDAR: forbidden. *)
+
+val spin_mp_full : Cfg.program
+(** Spin-wait MP over-fenced with DMB full on both sides — the
+    optimizer's canonical weakening target (full -> st / ld). *)
+
+val cond_pub : Cfg.program
+(** Diamond-shaped MP: data read only on the nonzero arm; ctrl dep to a
+    load does not order, so still allowed. *)
+
+val cond_pub_isb : Cfg.program
+(** Diamond-shaped MP with ISB heading the read arm: forbidden. *)
+
+val cfg_all : Cfg.program list
+
+val cfg_slices : ?unroll:int -> unit -> Lang.test list
+(** Bounded-unroll straight-line slices of every [cfg_all] program
+    ({!Cfg.slice_test}), named ["<test>@s<i>"] — the view [armb check]
+    and [armb fix] consume. *)

@@ -66,6 +66,84 @@ let generate ?(with_isb = false) rng =
     expect_wmm = false;
   }
 
+(* ---------- random small CFGs ---------- *)
+
+(* Thread shapes for the optimizer soak: straight-line, a two-block
+   chain, a diamond (branch + join), and a flag-poll loop with one
+   back-edge.  Register names stay unique per thread; a branch always
+   tests a previously loaded register.  This is a separate generator on
+   purpose: [generate]'s RNG consumption is pinned by the golden
+   fuzz-round digest and must not change. *)
+let gen_cfg_thread rng ~vars ~with_loop =
+  let reg_count = ref 0 in
+  let produced = ref [] in
+  let fresh_reg () =
+    incr reg_count;
+    let r = Printf.sprintf "r%d" !reg_count in
+    produced := r :: !produced;
+    r
+  in
+  let any_var () = List.nth vars (Rng.int rng (List.length vars)) in
+  let body n =
+    List.init n (fun _ ->
+        match Rng.int rng 6 with
+        | 0 | 1 ->
+          Lang.Load { var = any_var (); reg = fresh_reg (); acquire = false; addr_dep = None }
+        | 2 | 3 ->
+          Lang.Store
+            { var = any_var (); v = Lang.Const (Int64.of_int (1 + Rng.int rng 3));
+              release = false; addr_dep = None }
+        | 4 -> Lang.Fence Lang.F_dmb_st
+        | _ -> Lang.Fence Lang.F_dmb_ld)
+  in
+  let load_into_fresh () =
+    let r = fresh_reg () in
+    (Lang.Load { var = any_var (); reg = r; acquire = false; addr_dep = None }, r)
+  in
+  let shape = Rng.int rng (if with_loop then 4 else 3) in
+  match shape with
+  | 0 -> Cfg.cfg [ Cfg.blk "b0" (body (1 + Rng.int rng 3)) ]
+  | 1 ->
+    Cfg.cfg
+      [
+        Cfg.blk "b0" ~term:(Cfg.goto "b1") (body (1 + Rng.int rng 2));
+        Cfg.blk "b1" (body (1 + Rng.int rng 2));
+      ]
+  | 2 ->
+    (* diamond: branch on a loaded value, rejoin *)
+    let ld, r = load_into_fresh () in
+    Cfg.cfg
+      [
+        Cfg.blk "b0" ~term:(Cfg.branch r ~nonzero:"then" ~zero:"else") (body (Rng.int rng 2) @ [ ld ]);
+        Cfg.blk "then" ~term:(Cfg.goto "join") (body (1 + Rng.int rng 2));
+        Cfg.blk "else" ~term:(Cfg.goto "join") (body (Rng.int rng 2));
+        Cfg.blk "join" (body (Rng.int rng 2));
+      ]
+  | _ ->
+    (* flag-poll loop: one back-edge, exit on nonzero *)
+    let ld, r = load_into_fresh () in
+    Cfg.cfg
+      [
+        Cfg.blk "b0" ~term:(Cfg.goto "poll") (body (Rng.int rng 2));
+        Cfg.blk "poll" ~term:(Cfg.branch r ~nonzero:"done" ~zero:"poll") (body (Rng.int rng 2) @ [ ld ]);
+        Cfg.blk "done" (body (1 + Rng.int rng 2));
+      ]
+
+let generate_cfg ?(with_loop = true) rng =
+  let nvars = 2 + Rng.int rng 2 in
+  let vars = List.init nvars (fun i -> Printf.sprintf "v%d" i) in
+  let nthreads = 2 + Rng.int rng 2 in
+  let threads = List.init nthreads (fun _ -> gen_cfg_thread rng ~vars ~with_loop) in
+  {
+    Cfg.name = "fuzz-cfg";
+    description = "randomly generated CFG";
+    init = List.map (fun v -> (v, 0L)) vars;
+    threads;
+    interesting = (fun _ -> false);
+    expect_tso = false;
+    expect_wmm = false;
+  }
+
 type report = {
   tests_run : int;
   sim_outcomes_checked : int;

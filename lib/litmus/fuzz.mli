@@ -18,6 +18,15 @@ val generate : ?with_isb:bool -> Armb_sim.Rng.t -> Lang.test
     is opt-in so default streams stay bit-identical to the golden
     digests. *)
 
+val generate_cfg : ?with_loop:bool -> Armb_sim.Rng.t -> Cfg.program
+(** One random well-formed CFG program for the optimizer soak: 2-3
+    threads drawn from four shapes — straight-line, two-block chain,
+    diamond (branch + join), flag-poll loop with one back-edge (omitted
+    when [with_loop] is false).  Branches always test a previously
+    loaded register; register names are unique per thread.  Separate
+    from {!generate} so the golden-pinned default streams are
+    untouched. *)
+
 type report = {
   tests_run : int;
   sim_outcomes_checked : int;

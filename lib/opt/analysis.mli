@@ -1,0 +1,53 @@
+(** Structure toolkit over one thread's CFG: reverse postorder,
+    dominators, back edges, and the escape analysis the barrier passes
+    consume. *)
+
+module Cfg = Armb_litmus.Cfg
+
+val labels : Cfg.thread_cfg -> Cfg.label list
+(** Reachable block labels in DFS order. *)
+
+val predecessors : Cfg.thread_cfg -> Cfg.label -> Cfg.label list
+(** Predecessors among reachable blocks. *)
+
+val rpo : Cfg.thread_cfg -> Cfg.label list
+(** Reverse postorder of the reachable blocks from the entry. *)
+
+val unreachable : Cfg.thread_cfg -> Cfg.label list
+(** Blocks no path from the entry reaches. *)
+
+val idom : Cfg.thread_cfg -> Cfg.label -> Cfg.label option
+(** Immediate dominator (Cooper-Harvey-Kennedy iterative scheme); the
+    entry maps to itself, unreachable blocks to [None]. *)
+
+val dominates : Cfg.thread_cfg -> Cfg.label -> Cfg.label -> bool
+(** [dominates g a b]: every path from the entry to [b] passes [a]. *)
+
+val back_edges : Cfg.thread_cfg -> (Cfg.label * Cfg.label) list
+(** Edges [u -> v] where [v] dominates [u] — the loop back edges. *)
+
+(** {2 Escape analysis}
+
+    Which access kinds may execute before / after each block — i.e. on
+    which side of a program point a value can still become visible to
+    (or have been observed from) another thread.  A fence ordering pair
+    whose from-kind never precedes it or whose to-kind never follows it
+    is vacuous. *)
+
+type kinds = { loads : bool; stores : bool }
+
+val no_kinds : kinds
+val union : kinds -> kinds -> kinds
+val kind_of : Armb_litmus.Lang.instr -> kinds
+val body_kinds : Armb_litmus.Lang.instr list -> kinds
+
+type escape = {
+  before_in : Cfg.label -> kinds;
+      (** kinds that may execute before entering the block, on some
+          path from the entry (around loops too) *)
+  after_out : Cfg.label -> kinds;
+      (** kinds that may still execute after leaving the block *)
+}
+
+val escape : Cfg.thread_cfg -> escape
+(** May-dataflow fixpoints over the reachable blocks. *)

@@ -1,0 +1,130 @@
+(* Markdown and JSON rendering of optimizer results (the [armb opt]
+   report and the CI artifact).  JSON is hand-rolled like the synth
+   report: no JSON library in the image. *)
+
+module Cfg = Armb_litmus.Cfg
+module Cost = Armb_synth.Cost
+
+let pct_saving before after =
+  if before <= 0.0 then 0.0 else (before -. after) /. before *. 100.0
+
+let cost_pairs (r : Optimizer.result) =
+  List.map
+    (fun (cb : Cost.platform_cost) ->
+      let after =
+        match
+          List.find_opt (fun (ca : Cost.platform_cost) -> ca.Cost.platform = cb.Cost.platform)
+            r.Optimizer.costs_after
+        with
+        | Some ca -> ca.Cost.cycles
+        | None -> cb.Cost.cycles
+      in
+      (cb.Cost.platform, cb.Cost.cycles, after))
+    r.Optimizer.costs_before
+
+let pp_result ppf (r : Optimizer.result) =
+  Format.fprintf ppf "%s [%s]@." r.Optimizer.name
+    (Optimizer.algorithm_name r.Optimizer.algorithm);
+  Format.fprintf ppf "  fences: %d -> %d (removed %d, weakened %d, merged %d)@."
+    r.Optimizer.input_fences r.Optimizer.output_fences r.Optimizer.removed
+    r.Optimizer.weakened r.Optimizer.merged;
+  Format.fprintf ppf "  verdict: %s via %s — %s@."
+    (if r.Optimizer.verdict.Verify.sound then "SOUND" else "UNSOUND")
+    r.Optimizer.verdict.Verify.oracle r.Optimizer.verdict.Verify.detail;
+  if r.Optimizer.reverted then
+    Format.fprintf ppf "  REVERTED: some platform regressed; input kept@.";
+  List.iter
+    (fun (pl, before, after) ->
+      Format.fprintf ppf "  %s: %.1f -> %.1f cycles (%.1f%%)@." pl before after
+        (pct_saving before after))
+    (cost_pairs r)
+
+let summary_counts results =
+  let count f = List.length (List.filter f results) in
+  ( List.length results,
+    count (fun (r : Optimizer.result) -> not r.Optimizer.verdict.Verify.sound),
+    count (fun (r : Optimizer.result) -> r.Optimizer.output_fences > r.Optimizer.input_fences),
+    count Optimizer.improved )
+
+let markdown results =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let total, unsound, increase, improved = summary_counts results in
+  add "# armb opt report\n\n";
+  (match results with
+  | r :: _ -> add "Algorithm: `%s`.\n\n" (Optimizer.algorithm_name r.Optimizer.algorithm)
+  | [] -> ());
+  add "%d programs; %d improved, %d unsound, %d with more fences than input.\n\n" total
+    improved unsound increase;
+  add "| test | loops | fences in → out | removed | weakened | merged | sound | reverted |";
+  List.iter (fun p -> add " %s Δ%% |" p) Cost.platforms;
+  add "\n|---|---|---|---|---|---|---|---|";
+  List.iter (fun _ -> add "---|") Cost.platforms;
+  add "\n";
+  List.iter
+    (fun (r : Optimizer.result) ->
+      add "| %s | %s | %d → %d | %d | %d | %d | %s | %s |" r.Optimizer.name
+        (if Verify.loop_free r.Optimizer.input then "no" else "yes")
+        r.Optimizer.input_fences r.Optimizer.output_fences r.Optimizer.removed
+        r.Optimizer.weakened r.Optimizer.merged
+        (if r.Optimizer.verdict.Verify.sound then "yes" else "**NO**")
+        (if r.Optimizer.reverted then "yes" else "no");
+      List.iter
+        (fun pl ->
+          match
+            List.find_opt (fun (p, _, _) -> p = pl) (cost_pairs r)
+          with
+          | Some (_, before, after) -> add " %.1f |" (pct_saving before after)
+          | None -> add " – |")
+        Cost.platforms;
+      add "\n")
+    results;
+  add "\nPer-platform columns show estimated-cycle savings (positive = faster) on the\n";
+  add "longest bounded-unroll slices, summed; a reverted row kept its input.\n";
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json results =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let total, unsound, increase, improved = summary_counts results in
+  add "{\n";
+  (match results with
+  | r :: _ -> add "  \"algorithm\": \"%s\",\n" (Optimizer.algorithm_name r.Optimizer.algorithm)
+  | [] -> ());
+  add "  \"summary\": { \"programs\": %d, \"improved\": %d, \"unsound\": %d, \"fence_increase\": %d },\n"
+    total improved unsound increase;
+  add "  \"results\": [\n";
+  List.iteri
+    (fun i (r : Optimizer.result) ->
+      add "    { \"name\": \"%s\", \"loop_free\": %b, \"input_fences\": %d, \"output_fences\": %d,\n"
+        (json_escape r.Optimizer.name)
+        (Verify.loop_free r.Optimizer.input)
+        r.Optimizer.input_fences r.Optimizer.output_fences;
+      add "      \"removed\": %d, \"weakened\": %d, \"merged\": %d, \"sound\": %b, \"reverted\": %b,\n"
+        r.Optimizer.removed r.Optimizer.weakened r.Optimizer.merged
+        r.Optimizer.verdict.Verify.sound r.Optimizer.reverted;
+      add "      \"oracle\": \"%s\",\n" (json_escape r.Optimizer.verdict.Verify.oracle);
+      add "      \"costs\": [";
+      List.iteri
+        (fun j (pl, before, after) ->
+          add "%s{ \"platform\": \"%s\", \"before\": %.2f, \"after\": %.2f }"
+            (if j > 0 then ", " else "")
+            (json_escape pl) before after)
+        (cost_pairs r);
+      add "] }%s\n" (if i < List.length results - 1 then "," else ""))
+    results;
+  add "  ]\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,66 @@
+(* Optimizer fuzz soak: generate a random small CFG, over-fence it,
+   optimize, and re-verify — asserting soundness (the optimized
+   program's bounded WMM outcome set is bit-identical to the
+   over-fenced input's) and barrier-count monotonicity (optimization
+   never emits more fences than it was given).  Costing is skipped:
+   this loop is about correctness volume, not pricing. *)
+
+module Cfg = Armb_litmus.Cfg
+module Fuzz = Armb_litmus.Fuzz
+module Mutate = Armb_litmus.Mutate
+module Rng = Armb_sim.Rng
+
+type report = {
+  rounds : int;
+  unsound : int;  (** FATAL: optimized outcome set diverged *)
+  fence_increase : int;  (** FATAL: more fences out than in *)
+  improved : int;  (** rounds where a fence was removed or weakened *)
+  fences_in : int;
+  fences_out : int;
+  failures : string list;
+}
+
+let ok r = r.unsound = 0 && r.fence_increase = 0
+
+let run ?(rounds = 12) ?(seed = 2025) ?(algorithm = Optimizer.Linear_scan) ?(unroll = 2) () =
+  let rng = Rng.create seed in
+  let unsound = ref 0 and fence_increase = ref 0 and improved = ref 0 in
+  let fences_in = ref 0 and fences_out = ref 0 in
+  let failures = ref [] in
+  for i = 1 to rounds do
+    let p = Mutate.rename_cfg (Printf.sprintf "fuzz-cfg-%d" i) (Fuzz.generate_cfg rng) in
+    let q = Passes.over_fence p in
+    let r = Optimizer.optimize ~algorithm ~unroll ~cost:false q in
+    fences_in := !fences_in + r.Optimizer.input_fences;
+    fences_out := !fences_out + r.Optimizer.output_fences;
+    if not r.Optimizer.verdict.Verify.sound then begin
+      incr unsound;
+      failures :=
+        Printf.sprintf "%s: UNSOUND (%s): %s" q.Cfg.name r.Optimizer.verdict.Verify.oracle
+          r.Optimizer.verdict.Verify.detail
+        :: !failures
+    end;
+    if r.Optimizer.output_fences > r.Optimizer.input_fences then begin
+      incr fence_increase;
+      failures :=
+        Printf.sprintf "%s: fence count grew %d -> %d" q.Cfg.name r.Optimizer.input_fences
+          r.Optimizer.output_fences
+        :: !failures
+    end;
+    if Optimizer.improved r then incr improved
+  done;
+  {
+    rounds;
+    unsound = !unsound;
+    fence_increase = !fence_increase;
+    improved = !improved;
+    fences_in = !fences_in;
+    fences_out = !fences_out;
+    failures = List.rev !failures;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "opt soak: %d rounds, %d improved, fences %d -> %d, %d unsound, %d fence increases"
+    r.rounds r.improved r.fences_in r.fences_out r.unsound r.fence_increase;
+  List.iter (fun f -> Format.fprintf ppf "@.  %s" f) r.failures
