@@ -14,25 +14,15 @@ module P = Armb_platform.Platform
 module RC = Armb_platform.Run_config
 
 (* Every subcommand that takes --out/--output routes file writing
-   through here: missing parent directories are created, and any I/O
-   failure becomes one consistent message instead of a raw Sys_error. *)
-let rec ensure_dir d =
-  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
-    ensure_dir (Filename.dirname d);
-    try Sys.mkdir d 0o755 with Sys_error _ -> ()
-  end
-
+   through here: Armb_service.Out creates missing parent directories
+   and writes atomically (temp file + rename), so a watcher tailing a
+   rolling artifact never reads a torn file.  Any I/O failure becomes
+   one consistent message instead of a raw Sys_error. *)
 let write_out path text =
-  match
-    ensure_dir (Filename.dirname path);
-    let oc = open_out path in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> output_string oc text)
-  with
+  match Armb_service.Out.write ~path text with
   (* report on stderr: stdout may be a data stream (armb serve) *)
-  | () -> Printf.eprintf "wrote %s\n" path
-  | exception Sys_error m ->
+  | Ok () -> Printf.eprintf "wrote %s\n" path
+  | Error m ->
     Printf.eprintf "armb: cannot write %s: %s\n" path m;
     exit 1
 
@@ -927,7 +917,23 @@ let serve_cmd =
              ~doc:"Streaming mode: run queued computations whenever N are pending \
                    (and at end of input).")
   in
-  let run no_cache queue_bound cache_cap drain_every domains batch_file metrics_out =
+  let max_requests =
+    Arg.(value & opt (some int) None
+         & info [ "max-requests" ] ~docv:"N"
+             ~doc:"Streaming mode: stop accepting input after N requests, drain \
+                   everything already accepted, answer it all, then exit.  The \
+                   bound stops reading, never answering: a bounded serve is a \
+                   prefix of the unbounded one.")
+  in
+  let duration =
+    Arg.(value & opt (some float) None
+         & info [ "duration" ] ~docv:"SECONDS"
+             ~doc:"Streaming mode: stop accepting input after SECONDS of wall \
+                   clock, with the same drain-then-exit semantics as \
+                   $(b,--max-requests).")
+  in
+  let run no_cache queue_bound cache_cap drain_every max_requests duration domains
+      batch_file metrics_out =
     if queue_bound < 1 then begin
       Printf.eprintf "armb serve: --queue-bound must be >= 1\n";
       exit 2
@@ -939,7 +945,8 @@ let serve_cmd =
     if domains = 1 then begin
       let engine = Engine.create ~cache_cap ~queue_bound ~no_cache () in
       (match batch_file with
-      | None -> Serve.serve ~drain_every engine stdin stdout
+      | None ->
+        Serve.serve ~drain_every ?max_requests ?duration_s:duration engine stdin stdout
       | Some f ->
         let b = Serve.run_batch engine ~lines:(read_lines f) in
         List.iter (fun r -> print_endline (Codec.response_to_line r)) b.Serve.responses);
@@ -955,7 +962,7 @@ let serve_cmd =
           Shard.create ~domains ~cache_cap ~queue_bound ~no_cache ()
       in
       (match batch_file with
-      | None -> Shard.serve pool stdin stdout
+      | None -> Shard.serve ?max_requests ?duration_s:duration pool stdin stdout
       | Some f ->
         let b = Shard.run_batch pool ~lines:(read_lines f) in
         List.iter (fun r -> print_endline (Codec.response_to_line r)) b.Serve.responses);
@@ -973,8 +980,8 @@ let serve_cmd =
              content-addressed memoization, request coalescing, fair-share priority \
              scheduling and load shedding; $(b,--domains) shards it across OCaml 5 \
              domains.")
-    Term.(const run $ no_cache $ queue_bound $ cache_cap $ drain_every $ domains_arg
-          $ batch_file $ metrics_out)
+    Term.(const run $ no_cache $ queue_bound $ cache_cap $ drain_every $ max_requests
+          $ duration $ domains_arg $ batch_file $ metrics_out)
 
 let batch_cmd =
   let file =
@@ -1034,9 +1041,40 @@ let batch_cmd =
     Arg.(value & opt (some string) None
          & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Also write the responses NDJSON to FILE.")
   in
+  let retry_shed =
+    Arg.(value & flag
+         & info [ "retry-shed" ]
+             ~doc:"Resubmit shed responses through the bounded-backoff retry client \
+                   (capped exponential backoff honoring the engine's retry-after-ms \
+                   hint) until each completes or the policy gives up; report the \
+                   cycle counts.")
+  in
+  (* Pair each response with its request line (responses are in input
+     order, one per non-blank line) and drive shed rows through Retry. *)
+  let retry_shed_pass ~run_line lines (b : Serve.batch) =
+    let module R = Armb_service.Retry in
+    let nonblank = Array.of_list (List.filter (fun l -> String.trim l <> "") lines) in
+    let retried = ref 0 and gave_up = ref 0 in
+    let responses =
+      List.mapi
+        (fun i (r : Engine.response) ->
+          if R.is_shed r && i < Array.length nonblank then
+            match R.resubmit ~attempt:(fun () -> run_line nonblank.(i)) r with
+            | R.Completed { response; _ } ->
+              incr retried;
+              response
+            | R.Gave_up { last; _ } ->
+              incr gave_up;
+              last
+          else r)
+        b.Serve.responses
+    in
+    Printf.printf "retry-shed: %d retried to completion, %d gave up\n" !retried !gave_up;
+    { b with Serve.responses }
+  in
   let run file make_demo requests demo_seed zipf alpha compare_cold compare_single
       min_speedup min_coalesced domains no_cache queue_bound cache_cap out
-      metrics_out =
+      retry_shed metrics_out =
     if make_demo then begin
       let lines =
         if zipf then Serve.zipf_requests ~alpha ~requests ~seed:demo_seed ()
@@ -1104,6 +1142,14 @@ let batch_cmd =
       else if domains > 1 then begin
         let pool = Shard.create ~domains ~cache_cap ~queue_bound ~no_cache () in
         let b = Shard.run_batch pool ~lines in
+        let b =
+          if retry_shed then
+            retry_shed_pass lines b ~run_line:(fun line ->
+                match (Shard.run_batch pool ~lines:[ line ]).Serve.responses with
+                | r :: _ -> r
+                | [] -> { Engine.id = "?"; client = "?"; reply = Engine.Error "no response" })
+          else b
+        in
         ignore (Shard.shutdown pool);
         print_string (Serve.summary b (Shard.metrics pool));
         (match out with
@@ -1117,6 +1163,14 @@ let batch_cmd =
       else begin
         let engine = Engine.create ~cache_cap ~queue_bound ~no_cache () in
         let b = Serve.run_batch engine ~lines in
+        let b =
+          if retry_shed then
+            retry_shed_pass lines b ~run_line:(fun line ->
+                match (Serve.run_batch engine ~lines:[ line ]).Serve.responses with
+                | r :: _ -> r
+                | [] -> { Engine.id = "?"; client = "?"; reply = Engine.Error "no response" })
+          else b
+        in
         print_string (Serve.summary b (Engine.metrics engine));
         (match out with
         | None -> ()
@@ -1135,7 +1189,124 @@ let batch_cmd =
              optionally $(b,--zipf)).")
     Term.(const run $ file $ make_demo $ requests $ demo_seed $ zipf $ alpha
           $ compare_cold $ compare_single $ min_speedup $ min_coalesced $ domains_arg
-          $ no_cache $ queue_bound $ cache_cap $ out $ metrics_out)
+          $ no_cache $ queue_bound $ cache_cap $ out $ retry_shed $ metrics_out)
+
+(* ---------- soak ---------- *)
+
+module Soak_gen = Armb_soak.Gen
+module Soak_driver = Armb_soak.Driver
+module Retry = Armb_service.Retry
+
+let soak_cmd =
+  let seed =
+    Arg.(value & opt int 2026
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Stream seed.  The same seed (and pool parameters) reproduces the \
+                   identical request stream, byte for byte.")
+  in
+  let requests =
+    Arg.(value & opt int 500
+         & info [ "requests" ] ~docv:"N"
+             ~doc:"Stop after N submissions (0 = unbounded; requires $(b,--duration)).")
+  in
+  let duration =
+    Arg.(value & opt (some float) None
+         & info [ "duration" ] ~docv:"SECONDS"
+             ~doc:"Also stop after SECONDS of wall clock, whichever bound hits first.")
+  in
+  let wave =
+    Arg.(value & opt int 32
+         & info [ "wave" ] ~docv:"N" ~doc:"Requests per wave (one batch round trip).")
+  in
+  let pool =
+    Arg.(value & opt int Soak_gen.default_pool
+         & info [ "pool" ] ~docv:"N"
+             ~doc:"Distinct jobs in the sampling pool (interleaved across kinds, so \
+                   a small pool still mixes every kind).")
+  in
+  let alpha =
+    Arg.(value & opt float 1.1
+         & info [ "alpha" ] ~docv:"A"
+             ~doc:"Zipf skew over the pool: higher concentrates traffic on hot keys \
+                   (memo-cache and coalescing pressure).")
+  in
+  let snapshot_every =
+    Arg.(value & opt int 4
+         & info [ "snapshot-every" ] ~docv:"N"
+             ~doc:"Rewrite the rolling metrics artifact every N waves (0 = only the \
+                   final snapshot).")
+  in
+  let bundle_dir =
+    Arg.(value & opt (some string) None
+         & info [ "bundle-dir" ] ~docv:"DIR"
+             ~doc:"Persist each invariant violation as a self-contained repro bundle \
+                   (schema armb-soak-violation-v1: seed, verbatim request line, \
+                   response) under DIR.")
+  in
+  let retry_max =
+    Arg.(value & opt int Retry.default_policy.Retry.max_retries
+         & info [ "retry-max" ] ~docv:"N"
+             ~doc:"Resubmission attempts for a shed response before giving up \
+                   (gave-up requests are reported, not fatal).")
+  in
+  let emit =
+    Arg.(value & opt (some string) None
+         & info [ "emit" ] ~docv:"FILE"
+             ~doc:"Do not run anything: write the deterministic NDJSON request \
+                   stream for this seed to FILE and exit.  Two runs with the same \
+                   seed produce byte-identical files (the reproducibility check).")
+  in
+  let run seed requests duration wave pool alpha snapshot_every metrics_out bundle_dir
+      retry_max emit queue_bound cache_cap domains =
+    if domains < 1 then begin
+      Printf.eprintf "armb soak: --domains must be >= 1\n";
+      exit 2
+    end;
+    if requests <= 0 && duration = None && emit = None then begin
+      Printf.eprintf "armb soak: give --requests N (> 0) and/or --duration S\n";
+      exit 2
+    end;
+    match emit with
+    | Some path ->
+      let jobs = Soak_gen.stream ~pool ~alpha ~requests:(max requests 1) ~seed () in
+      write_out path
+        (String.concat "" (List.map (fun j -> j.Soak_gen.line ^ "\n") jobs))
+    | None ->
+      let cfg =
+        {
+          (Soak_driver.default_config ~seed) with
+          Soak_driver.requests;
+          duration_s = duration;
+          wave;
+          pool;
+          alpha;
+          queue_bound;
+          cache_cap;
+          domains;
+          snapshot_every;
+          metrics_out;
+          bundle_dir;
+          retry = { Retry.default_policy with Retry.max_retries = retry_max };
+        }
+      in
+      let r = Soak_driver.run cfg in
+      Format.printf "%a@." Soak_driver.pp_report r;
+      (match metrics_out with
+      | Some p -> Printf.eprintf "metrics artifact: %s (%d snapshots)\n" p r.Soak_driver.snapshots
+      | None -> ());
+      if not r.Soak_driver.ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:"Continuous soak farm: a seeded, Zipf-skewed stream of litmus / check / \
+             perturb / fix / opt jobs played against the in-process job service as \
+             production traffic, every response invariant-checked (repair soundness, \
+             optimizer safety, sanitizer cleanliness, perturbation legality), shed \
+             responses retried with bounded backoff, violations persisted as repro \
+             bundles, and a rolling armb-soak-metrics-v1 artifact written atomically.")
+    Term.(const run $ seed $ requests $ duration $ wave $ pool $ alpha $ snapshot_every
+          $ metrics_out $ bundle_dir $ retry_max $ emit $ queue_bound $ cache_cap
+          $ domains_arg)
 
 let () =
   let doc = "ARM barrier characterization and optimization toolkit (PPoPP'20 reproduction)" in
@@ -1161,4 +1332,5 @@ let () =
             trace_cmd;
             serve_cmd;
             batch_cmd;
+            soak_cmd;
           ]))

@@ -22,42 +22,71 @@ type report = {
 
 let ok r = r.unsound = 0 && r.fence_increase = 0
 
-let run ?(rounds = 12) ?(seed = 2025) ?(algorithm = Optimizer.Linear_scan) ?(unroll = 2) () =
-  let rng = Rng.create seed in
-  let unsound = ref 0 and fence_increase = ref 0 and improved = ref 0 in
-  let fences_in = ref 0 and fences_out = ref 0 in
+(* One soak iteration as a first-class record, mirroring
+   Armb_synth.Soak.round — the unified soak subsystem (lib/soak)
+   consumes rounds directly and [run] folds them into the classic
+   aggregate, so both views agree by construction. *)
+
+type round = {
+  index : int;
+  program_name : string;
+  input_fences : int;
+  output_fences : int;
+  improved : bool;
+  unsound : bool;
+  fence_increase : bool;
+  failures : string list;
+}
+
+let round_ok r = (not r.unsound) && not r.fence_increase
+
+let run_round ~algorithm ~unroll rng i =
+  let p = Mutate.rename_cfg (Printf.sprintf "fuzz-cfg-%d" i) (Fuzz.generate_cfg rng) in
+  let q = Passes.over_fence p in
+  let r = Optimizer.optimize ~algorithm ~unroll ~cost:false q in
   let failures = ref [] in
-  for i = 1 to rounds do
-    let p = Mutate.rename_cfg (Printf.sprintf "fuzz-cfg-%d" i) (Fuzz.generate_cfg rng) in
-    let q = Passes.over_fence p in
-    let r = Optimizer.optimize ~algorithm ~unroll ~cost:false q in
-    fences_in := !fences_in + r.Optimizer.input_fences;
-    fences_out := !fences_out + r.Optimizer.output_fences;
-    if not r.Optimizer.verdict.Verify.sound then begin
-      incr unsound;
-      failures :=
-        Printf.sprintf "%s: UNSOUND (%s): %s" q.Cfg.name r.Optimizer.verdict.Verify.oracle
-          r.Optimizer.verdict.Verify.detail
-        :: !failures
-    end;
-    if r.Optimizer.output_fences > r.Optimizer.input_fences then begin
-      incr fence_increase;
-      failures :=
-        Printf.sprintf "%s: fence count grew %d -> %d" q.Cfg.name r.Optimizer.input_fences
-          r.Optimizer.output_fences
-        :: !failures
-    end;
-    if Optimizer.improved r then incr improved
-  done;
+  let unsound = not r.Optimizer.verdict.Verify.sound in
+  if unsound then
+    failures :=
+      Printf.sprintf "%s: UNSOUND (%s): %s" q.Cfg.name r.Optimizer.verdict.Verify.oracle
+        r.Optimizer.verdict.Verify.detail
+      :: !failures;
+  let fence_increase = r.Optimizer.output_fences > r.Optimizer.input_fences in
+  if fence_increase then
+    failures :=
+      Printf.sprintf "%s: fence count grew %d -> %d" q.Cfg.name r.Optimizer.input_fences
+        r.Optimizer.output_fences
+      :: !failures;
   {
-    rounds;
-    unsound = !unsound;
-    fence_increase = !fence_increase;
-    improved = !improved;
-    fences_in = !fences_in;
-    fences_out = !fences_out;
+    index = i;
+    program_name = q.Cfg.name;
+    input_fences = r.Optimizer.input_fences;
+    output_fences = r.Optimizer.output_fences;
+    improved = Optimizer.improved r;
+    unsound;
+    fence_increase;
     failures = List.rev !failures;
   }
+
+let run_rounds ?(rounds = 12) ?(seed = 2025) ?(algorithm = Optimizer.Linear_scan)
+    ?(unroll = 2) () =
+  let rng = Rng.create seed in
+  List.init rounds (fun i -> run_round ~algorithm ~unroll rng (i + 1))
+
+let report_of_rounds rounds =
+  let count f = List.length (List.filter f rounds) in
+  {
+    rounds = List.length rounds;
+    unsound = count (fun r -> r.unsound);
+    fence_increase = count (fun r -> r.fence_increase);
+    improved = count (fun r -> r.improved);
+    fences_in = List.fold_left (fun a r -> a + r.input_fences) 0 rounds;
+    fences_out = List.fold_left (fun a r -> a + r.output_fences) 0 rounds;
+    failures = List.concat_map (fun r -> r.failures) rounds;
+  }
+
+let run ?rounds ?seed ?algorithm ?unroll () =
+  report_of_rounds (run_rounds ?rounds ?seed ?algorithm ?unroll ())
 
 let pp_report ppf r =
   Format.fprintf ppf

@@ -1,4 +1,5 @@
 module Lang = Armb_litmus.Lang
+module Cfg = Armb_litmus.Cfg
 module AM = Armb_core.Abstracted_model
 module RC = Armb_platform.Run_config
 
@@ -12,15 +13,279 @@ let ( let* ) = Result.bind
 
 let required what = function Some v -> Ok v | None -> Error ("missing " ^ what)
 
+(* ------------------------------------------------------------------ *)
+(* Inline tests and CFG programs on the wire.
+
+   The [interesting] closure cannot cross a process boundary, so inline
+   tests carry a declarative ["interesting_when"] instead: a list of
+   [key, value] pairs denoting a conjunction of equalities over outcome
+   bindings (["1:r1", 1] means register r1 of thread 1 reads 1).  An
+   absent or empty list is the trivially-false predicate (the fuzzer's
+   convention).  This covers every shape the soak generator emits
+   (MP/SB/LB-style weak outcomes) and keeps {!Key.canonical_test}'s
+   extensional predicate fingerprint deterministic across processes. *)
+
+let fence_to_wire = function
+  | Lang.F_dmb_full -> "dmb"
+  | Lang.F_dmb_st -> "dmb.st"
+  | Lang.F_dmb_ld -> "dmb.ld"
+  | Lang.F_dsb -> "dsb"
+  | Lang.F_isb -> "ctrl+isb"
+
+let fence_of_wire = function
+  | "dmb" -> Some Lang.F_dmb_full
+  | "dmb.st" -> Some Lang.F_dmb_st
+  | "dmb.ld" -> Some Lang.F_dmb_ld
+  | "dsb" -> Some Lang.F_dsb
+  | "isb" | "ctrl+isb" -> Some Lang.F_isb
+  | _ -> None
+
+let instr_to_json = function
+  | Lang.Load { var; reg; acquire; addr_dep } ->
+    Json.Obj
+      ([ ("op", Json.Str "ld"); ("var", Json.Str var); ("reg", Json.Str reg) ]
+      @ (if acquire then [ ("acquire", Json.Bool true) ] else [])
+      @ match addr_dep with Some r -> [ ("addr_dep", Json.Str r) ] | None -> [])
+  | Lang.Store { var; v; release; addr_dep } ->
+    Json.Obj
+      ([ ("op", Json.Str "st"); ("var", Json.Str var) ]
+      @ (match v with
+        | Lang.Const k -> [ ("const", Json.Int (Int64.to_int k)) ]
+        | Lang.Reg r -> [ ("from_reg", Json.Str r) ])
+      @ (if release then [ ("release", Json.Bool true) ] else [])
+      @ match addr_dep with Some r -> [ ("addr_dep", Json.Str r) ] | None -> [])
+  | Lang.Fence f -> Json.Obj [ ("op", Json.Str "fence"); ("fence", Json.Str (fence_to_wire f)) ]
+
+let bool_field ?(default = false) k j =
+  match Json.member k j with
+  | None -> Ok default
+  | Some (Json.Bool b) -> Ok b
+  | Some _ -> Error (Printf.sprintf "%S is not a boolean" k)
+
+let instr_of_json j =
+  let* op = required "instruction \"op\"" (Json.mem_str "op" j) in
+  let addr_dep = Json.mem_str "addr_dep" j in
+  match op with
+  | "ld" ->
+    let* var = required "load \"var\"" (Json.mem_str "var" j) in
+    let* reg = required "load \"reg\"" (Json.mem_str "reg" j) in
+    let* acquire = bool_field "acquire" j in
+    Ok (Lang.Load { var; reg; acquire; addr_dep })
+  | "st" ->
+    let* var = required "store \"var\"" (Json.mem_str "var" j) in
+    let* v =
+      match (Json.mem_int "const" j, Json.mem_str "from_reg" j) with
+      | Some k, None -> Ok (Lang.Const (Int64.of_int k))
+      | None, Some r -> Ok (Lang.Reg r)
+      | None, None -> Error "store needs \"const\" or \"from_reg\""
+      | Some _, Some _ -> Error "store has both \"const\" and \"from_reg\""
+    in
+    let* release = bool_field "release" j in
+    Ok (Lang.Store { var; v; release; addr_dep })
+  | "fence" ->
+    let* f = required "fence \"fence\"" (Json.mem_str "fence" j) in
+    required (Printf.sprintf "valid fence (got %S)" f) (fence_of_wire f)
+    |> Result.map (fun f -> Lang.Fence f)
+  | op -> Error (Printf.sprintf "unknown instruction op %S" op)
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: tl ->
+    let* y = f x in
+    let* tl = map_result f tl in
+    Ok (y :: tl)
+
+let pairs_of_json what j =
+  match j with
+  | Json.List l ->
+    map_result
+      (function
+        | Json.List [ Json.Str k; v ] -> (
+          match Json.int v with
+          | Some n -> Ok (k, Int64.of_int n)
+          | None -> Error (Printf.sprintf "%s: value for %S is not an integer" what k))
+        | _ -> Error (Printf.sprintf "%s entries must be [name, int] pairs" what))
+      l
+  | _ -> Error (Printf.sprintf "%s must be a list" what)
+
+let pairs_to_json l =
+  Json.List
+    (List.map (fun (k, v) -> Json.List [ Json.Str k; Json.Int (Int64.to_int v) ]) l)
+
+let interesting_of_conds conds =
+  if conds = [] then fun _ -> false
+  else fun lookup -> List.for_all (fun (k, v) -> lookup k = v) conds
+
+let test_inline_of_json j =
+  let* name = required "inline test \"name\"" (Json.mem_str "name" j) in
+  let* init =
+    match Json.member "init" j with
+    | None -> Ok []
+    | Some l -> pairs_of_json "\"init\"" l
+  in
+  let* threads =
+    match Json.member "threads" j with
+    | Some (Json.List ths) ->
+      map_result
+        (function
+          | Json.List instrs -> map_result instr_of_json instrs
+          | _ -> Error "each thread must be a list of instructions")
+        ths
+    | _ -> Error "inline test needs a \"threads\" list"
+  in
+  let* conds =
+    match Json.member "interesting_when" j with
+    | None -> Ok []
+    | Some l -> pairs_of_json "\"interesting_when\"" l
+  in
+  let* expect_tso = bool_field "expect_tso" j in
+  let* expect_wmm = bool_field "expect_wmm" j in
+  Ok
+    {
+      Lang.name;
+      description = Option.value ~default:"" (Json.mem_str "description" j);
+      init;
+      threads;
+      interesting = interesting_of_conds conds;
+      expect_tso;
+      expect_wmm;
+    }
+
+let test_inline_to_json ~interesting_when (t : Lang.test) =
+  Json.Obj
+    ([ ("name", Json.Str t.Lang.name) ]
+    @ (if t.Lang.description = "" then []
+       else [ ("description", Json.Str t.Lang.description) ])
+    @ [
+        ("init", pairs_to_json t.Lang.init);
+        ( "threads",
+          Json.List
+            (List.map (fun th -> Json.List (List.map instr_to_json th)) t.Lang.threads)
+        );
+      ]
+    @ (if interesting_when = [] then []
+       else [ ("interesting_when", pairs_to_json interesting_when) ])
+    @ [
+        ("expect_tso", Json.Bool t.Lang.expect_tso);
+        ("expect_wmm", Json.Bool t.Lang.expect_wmm);
+      ])
+
+let term_to_json = function
+  | Cfg.Return -> Json.Str "ret"
+  | Cfg.Goto l -> Json.Obj [ ("goto", Json.Str l) ]
+  | Cfg.Branch { reg; if_nonzero; if_zero } ->
+    Json.Obj [ ("branch", Json.List [ Json.Str reg; Json.Str if_nonzero; Json.Str if_zero ]) ]
+
+let term_of_json = function
+  | Json.Str "ret" -> Ok Cfg.Return
+  | Json.Obj _ as j -> (
+    match (Json.mem_str "goto" j, Json.member "branch" j) with
+    | Some l, None -> Ok (Cfg.Goto l)
+    | None, Some (Json.List [ Json.Str reg; Json.Str nz; Json.Str z ]) ->
+      Ok (Cfg.Branch { reg; if_nonzero = nz; if_zero = z })
+    | _ -> Error "terminator must be \"ret\", {goto}, or {branch:[reg,nz,z]}")
+  | _ -> Error "terminator must be \"ret\", {goto}, or {branch:[reg,nz,z]}"
+
+let block_of_json j =
+  let* label = required "block \"label\"" (Json.mem_str "label" j) in
+  let* body =
+    match Json.member "body" j with
+    | Some (Json.List instrs) -> map_result instr_of_json instrs
+    | _ -> Error "block needs a \"body\" list"
+  in
+  let* term =
+    match Json.member "term" j with
+    | None -> Ok Cfg.Return
+    | Some t -> term_of_json t
+  in
+  Ok { Cfg.label; body; term }
+
+(* Programs on the wire always carry the trivially-false predicate —
+   [Opt] jobs compare WMM-reachable outcome {e sets}, which never
+   consult it — so no "interesting_when" field exists here; see
+   {!Key.canonical_program} for why this keeps keying sound. *)
+let program_of_json j =
+  let* name = required "program \"name\"" (Json.mem_str "name" j) in
+  let* init =
+    match Json.member "init" j with
+    | None -> Ok []
+    | Some l -> pairs_of_json "\"init\"" l
+  in
+  let* threads =
+    match Json.member "threads" j with
+    | Some (Json.List ths) ->
+      map_result
+        (fun th ->
+          let* entry = required "thread \"entry\"" (Json.mem_str "entry" th) in
+          let* blocks =
+            match Json.member "blocks" th with
+            | Some (Json.List bs) -> map_result block_of_json bs
+            | _ -> Error "thread needs a \"blocks\" list"
+          in
+          Ok { Cfg.entry; blocks })
+        ths
+    | _ -> Error "program needs a \"threads\" list"
+  in
+  let* expect_tso = bool_field "expect_tso" j in
+  let* expect_wmm = bool_field "expect_wmm" j in
+  let p =
+    {
+      Cfg.name;
+      description = Option.value ~default:"" (Json.mem_str "description" j);
+      init;
+      threads;
+      interesting = (fun _ -> false);
+      expect_tso;
+      expect_wmm;
+    }
+  in
+  match Cfg.validate p with Ok () -> Ok p | Error m -> Error ("invalid program: " ^ m)
+
+let program_to_json (p : Cfg.program) =
+  Json.Obj
+    ([ ("name", Json.Str p.Cfg.name) ]
+    @ (if p.Cfg.description = "" then []
+       else [ ("description", Json.Str p.Cfg.description) ])
+    @ [
+        ("init", pairs_to_json p.Cfg.init);
+        ( "threads",
+          Json.List
+            (List.map
+               (fun (th : Cfg.thread_cfg) ->
+                 Json.Obj
+                   [
+                     ("entry", Json.Str th.Cfg.entry);
+                     ( "blocks",
+                       Json.List
+                         (List.map
+                            (fun (blk : Cfg.block) ->
+                              Json.Obj
+                                [
+                                  ("label", Json.Str blk.Cfg.label);
+                                  ("body", Json.List (List.map instr_to_json blk.Cfg.body));
+                                  ("term", term_to_json blk.Cfg.term);
+                                ])
+                            th.Cfg.blocks) );
+                   ])
+               p.Cfg.threads) );
+        ("expect_tso", Json.Bool p.Cfg.expect_tso);
+        ("expect_wmm", Json.Bool p.Cfg.expect_wmm);
+      ])
+
+(* ------------------------------------------------------------------ *)
+
 let test_field j =
-  let* name = required "\"test\"" (Json.mem_str "test" j) in
-  match find_test name with
-  | Some t -> Ok t
-  | None ->
-    Error
-      (Printf.sprintf "unknown test %S (try: %s)" name
-         (String.concat ", "
-            (List.map (fun (t : Lang.test) -> t.Lang.name) Armb_litmus.Catalogue.all)))
+  match Json.member "test_inline" j with
+  | Some inline -> test_inline_of_json inline
+  | None -> (
+    let* name = required "\"test\" or \"test_inline\"" (Json.mem_str "test" j) in
+    match find_test name with
+    | Some t -> Ok t
+    | None ->
+      Error
+        (Printf.sprintf "unknown test %S (try: %s)" name
+           (String.concat ", "
+              (List.map (fun (t : Lang.test) -> t.Lang.name) Armb_litmus.Catalogue.all))))
 
 let mem_ops_of_string = function
   | "no-mem" -> Some AM.No_mem
@@ -87,6 +352,57 @@ let spec_of_json j =
   | "fuzz" ->
     let* tests = int_field ~default:10 "tests" j in
     Ok (Job.Fuzz { tests })
+  | "perturb" ->
+    let* t = test_field j in
+    let* intensities =
+      match Json.member "intensities" j with
+      | None -> Ok [ 0.5 ]
+      | Some (Json.List l) ->
+        map_result
+          (fun v ->
+            match Json.number v with
+            | Some f when f >= 0.0 && f <= 1.0 -> Ok f
+            | Some f -> Error (Printf.sprintf "intensity %g outside [0,1]" f)
+            | None -> Error "\"intensities\" entries must be numbers")
+          l
+      | Some _ -> Error "\"intensities\" must be a list"
+    in
+    let* plan_seeds =
+      match Json.member "plan_seeds" j with
+      | None -> Ok [ 1 ]
+      | Some (Json.List l) ->
+        map_result
+          (fun v ->
+            match Json.int v with
+            | Some n -> Ok n
+            | None -> Error "\"plan_seeds\" entries must be integers")
+          l
+      | Some _ -> Error "\"plan_seeds\" must be a list"
+    in
+    if intensities = [] || plan_seeds = [] then
+      Error "\"intensities\" and \"plan_seeds\" must be non-empty"
+    else Ok (Job.Perturb { test = t; intensities; plan_seeds })
+  | "opt" ->
+    let* program =
+      match Json.member "program" j with
+      | Some (Json.Str name) ->
+        required
+          (Printf.sprintf "known program (got %S)" name)
+          (Armb_opt.Optimizer.find_input name)
+      | Some (Json.Obj _ as p) -> program_of_json p
+      | Some _ -> Error "\"program\" must be a name or an inline object"
+      | None -> Error "missing \"program\""
+    in
+    let* algorithm =
+      match Json.mem_str "algorithm" j with
+      | None -> Ok "second-chance"
+      | Some a -> (
+        match Armb_opt.Optimizer.algorithm_of_string a with
+        | Some _ -> Ok a
+        | None -> Error (Printf.sprintf "unknown algorithm %S" a))
+    in
+    let* unroll = int_field ~default:2 "unroll" j in
+    Ok (Job.Opt { program; algorithm; unroll })
   | k -> Error (Printf.sprintf "unknown kind %S" k)
 
 let rc_of_json j =

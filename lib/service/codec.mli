@@ -9,14 +9,37 @@
     ["fault"] (intensity in [0,1], default 0).
 
     Kind-specific fields (["kind"] is required):
-    - ["litmus"] | ["check"] | ["fix"]: ["test"] — catalogue test name
-      (case-insensitive).  ["fix"] also takes ["max_edits"] (default 3)
-      and ["budget"] (default 4000).
+    - ["litmus"] | ["check"] | ["fix"] | ["perturb"]: ["test"] —
+      catalogue test name (case-insensitive) — or ["test_inline"], a
+      full inline test object (see below).  ["fix"] also takes
+      ["max_edits"] (default 3) and ["budget"] (default 4000);
+      ["perturb"] also takes ["intensities"] (numbers in [0,1], default
+      [[0.5]]) and ["plan_seeds"] (integers, default [[1]]).
     - ["model"]: ["mem_ops"] ("no-mem"|"st-st"|"ld-st"|"ld-ld"),
       ["approach"] (a {!Armb_core.Ordering.named} spelling),
       ["location"] (1|2), ["nops"], ["iters"].
     - ["ring"]: ["combo"] (Figure 6(a) legend name), ["messages"].
     - ["fuzz"]: ["tests"].
+    - ["opt"]: ["program"] — an {!Armb_opt.Optimizer.find_input} name or
+      an inline CFG program object — plus ["algorithm"] (default
+      "second-chance") and ["unroll"] (default 2).
+
+    {b Inline tests.}  The [interesting] closure cannot cross a process
+    boundary, so ["test_inline"] carries ["interesting_when"] instead: a
+    list of [[key, value]] pairs denoting a conjunction of equalities
+    over outcome bindings (key ["1:r1"] = register r1 of thread 1, or
+    ["mem:x"]); absent/empty means trivially false.  Other fields:
+    ["name"], ["init"] ([[var, int]] pairs), ["threads"] (lists of
+    instruction objects: [{op:"ld", var, reg, acquire?, addr_dep?}],
+    [{op:"st", var, const | from_reg, release?, addr_dep?}],
+    [{op:"fence", fence:"dmb"|"dmb.st"|"dmb.ld"|"dsb"|"ctrl+isb"}]),
+    ["expect_tso"]/["expect_wmm"] (default false).
+
+    {b Inline programs} mirror inline tests with per-thread ["entry"]
+    and ["blocks"] ([{label, body, term}]; ["term"] is ["ret"],
+    [{goto: label}] or [{branch: [reg, nonzero, zero]}]) and carry no
+    predicate (always trivially false — [Opt] jobs compare outcome sets,
+    never the predicate).
 
     Responses are one JSON object per line: ["id"], ["client"],
     ["status"] ("ok"|"shed"|"error"); ok responses add ["origin"]
@@ -37,3 +60,17 @@ val response_to_line : Engine.response -> string
 
 val find_test : string -> Armb_litmus.Lang.test option
 (** Case-insensitive catalogue lookup (shared with the CLI). *)
+
+val test_inline_to_json :
+  interesting_when:(string * int64) list -> Armb_litmus.Lang.test -> Json.t
+(** Serialize a test for a ["test_inline"] field.  The caller supplies
+    the declarative predicate — the closure itself cannot be serialized,
+    so the emitter must know the conjunction it was built from (the soak
+    generator does; pass [[]] for trivially-false fuzzer tests). *)
+
+val test_inline_of_json : Json.t -> (Armb_litmus.Lang.test, string) result
+
+val program_to_json : Armb_litmus.Cfg.program -> Json.t
+val program_of_json : Json.t -> (Armb_litmus.Cfg.program, string) result
+(** Inline CFG programs; parsing validates with {!Armb_litmus.Cfg.validate}
+    and installs the trivially-false predicate. *)

@@ -18,6 +18,8 @@ type spec =
   | Ring of { combo : string; messages : int }
   | Fuzz of { tests : int }
   | Fix of { test : Lang.test; max_edits : int; budget : int }
+  | Perturb of { test : Lang.test; intensities : float list; plan_seeds : int list }
+  | Opt of { program : Armb_litmus.Cfg.program; algorithm : string; unroll : int }
 
 type t = { spec : spec; rc : RC.t; fault : float }
 
@@ -31,6 +33,8 @@ let kind t =
   | Ring _ -> "ring"
   | Fuzz _ -> "fuzz"
   | Fix _ -> "fix"
+  | Perturb _ -> "perturb"
+  | Opt _ -> "opt"
 
 let mem_ops_tag = function
   | AM.No_mem -> "no-mem"
@@ -49,6 +53,11 @@ let label t =
   | Ring { combo; messages } -> Printf.sprintf "ring %s n=%d" combo messages
   | Fuzz { tests } -> Printf.sprintf "fuzz tests=%d" tests
   | Fix { test; _ } -> "fix " ^ test.Lang.name
+  | Perturb { test; intensities; plan_seeds } ->
+    Printf.sprintf "perturb %s x%d" test.Lang.name
+      (List.length intensities * List.length plan_seeds)
+  | Opt { program; algorithm; _ } ->
+    Printf.sprintf "opt %s %s" algorithm program.Armb_litmus.Cfg.name
 
 (* The fault plan is reconstructed from (intensity, rc.seed) at run
    time, so the key carries only the intensity — the seed is already a
@@ -74,7 +83,20 @@ let key t =
   | Fuzz { tests } -> Buffer.add_string b (Printf.sprintf "fuzz|%d\n" tests)
   | Fix { test; max_edits; budget } ->
     Buffer.add_string b (Printf.sprintf "fix|%d|%d\n" max_edits budget);
-    Buffer.add_string b (Key.canonical_test test));
+    Buffer.add_string b (Key.canonical_test test)
+  | Perturb { test; intensities; plan_seeds } ->
+    Buffer.add_string b
+      (Printf.sprintf "perturb|%s|%s\n"
+         (String.concat "," (List.map (Printf.sprintf "%.6f") intensities))
+         (String.concat "," (List.map string_of_int plan_seeds)));
+    Buffer.add_string b (Key.canonical_test test)
+  | Opt { program; algorithm; unroll } ->
+    (* validate the algorithm name now so an unkeyable job fails at submit *)
+    (match Armb_opt.Optimizer.algorithm_of_string algorithm with
+    | Some _ -> ()
+    | None -> invalid_arg (Printf.sprintf "Job.key: unknown algorithm %S" algorithm));
+    Buffer.add_string b (Printf.sprintf "opt|%s|%d\n" algorithm unroll);
+    Buffer.add_string b (Key.canonical_program program));
   let a, bcore = t.rc.cores in
   Buffer.add_string b
     (Printf.sprintf "@%s|%d,%d|seed=%d|trials=%d|fault=%.6f"
@@ -103,6 +125,15 @@ let route_hash t =
     | Fix { test; max_edits; budget } ->
       Printf.sprintf "fix|%s|%d|%d" (String.lowercase_ascii test.Lang.name) max_edits
         budget
+    | Perturb { test; intensities; plan_seeds } ->
+      Printf.sprintf "perturb|%s|%s|%s"
+        (String.lowercase_ascii test.Lang.name)
+        (String.concat "," (List.map (Printf.sprintf "%.6f") intensities))
+        (String.concat "," (List.map string_of_int plan_seeds))
+    | Opt { program; algorithm; unroll } ->
+      Printf.sprintf "opt|%s|%s|%d"
+        (String.lowercase_ascii program.Armb_litmus.Cfg.name)
+        algorithm unroll
   in
   let a, b = t.rc.cores in
   Hashtbl.hash
@@ -192,5 +223,50 @@ let run t =
     {
       text = Format.asprintf "%a@." Armb_synth.Report.pp_outcome o;
       events = o.Armb_synth.Fix.oracle_calls;
+      cycles = 0;
+    }
+  | Perturb { test; intensities; plan_seeds } ->
+    let module P = Armb_litmus.Perturb in
+    (* the job-level [fault] knob is ignored here: the sweep itself owns
+       the injection (intensities x plan seeds vs a faults-off baseline) *)
+    let s =
+      P.sweep ~cfg:rc.cfg ~trials:rc.trials ~seed:rc.seed ~intensities
+        ~plan_seeds ~tests:[ test ] ()
+    in
+    let b = Buffer.create 256 in
+    List.iter
+      (fun row -> Buffer.add_string b (Format.asprintf "%a\n" P.pp_row row))
+      s.P.results;
+    let drift_total =
+      List.fold_left (fun acc r -> acc +. r.P.drift) 0.0 s.P.results
+    in
+    let delay_total =
+      List.fold_left (fun acc r -> acc + r.P.fault_delay) 0 s.P.results
+    in
+    (* machine-parseable trailer: the soak driver's invariant checker and
+       drift accounting key off these two markers *)
+    Buffer.add_string b
+      (Printf.sprintf "drift-total=%.3f sweep: %s\n" drift_total
+         (if s.P.ok then "OK" else "VIOLATIONS"));
+    { text = Buffer.contents b; events = delay_total; cycles = 0 }
+  | Opt { program; algorithm; unroll } ->
+    let module O = Armb_opt.Optimizer in
+    let algorithm =
+      match O.algorithm_of_string algorithm with
+      | Some a -> a
+      | None -> invalid_arg (Printf.sprintf "Job.run: unknown algorithm %S" algorithm)
+    in
+    let r =
+      O.optimize ~algorithm ~unroll ~cost:false ~trials:rc.trials ~seed:rc.seed
+        program
+    in
+    {
+      text =
+        Printf.sprintf
+          "opt %s %s fences %d -> %d removed=%d weakened=%d merged=%d sound=%b reverted=%b\n"
+          (O.algorithm_name r.O.algorithm)
+          r.O.name r.O.input_fences r.O.output_fences r.O.removed r.O.weakened
+          r.O.merged r.O.verdict.Armb_opt.Verify.sound r.O.reverted;
+      events = 0;
       cycles = 0;
     }

@@ -31,6 +31,18 @@ type spec =
   | Fuzz of { tests : int }  (** one differential fuzz round *)
   | Fix of { test : Lang.test; max_edits : int; budget : int }
       (** fence synthesis ({!Armb_synth.Fix}) *)
+  | Perturb of { test : Lang.test; intensities : float list; plan_seeds : int list }
+      (** one-test fault-injection sweep ({!Armb_litmus.Perturb}); the
+          job's own [fault] knob is ignored — the sweep owns the
+          injection schedule.  The result text ends with a parseable
+          ["drift-total=... sweep: OK|VIOLATIONS"] trailer. *)
+  | Opt of {
+      program : Armb_litmus.Cfg.program;
+      algorithm : string;  (** "single-bb" | "linear-scan" | "second-chance" *)
+      unroll : int;
+    }
+      (** whole-program fence optimization ({!Armb_opt.Optimizer}),
+          costing off (the soak's mode) *)
 
 type t = {
   spec : spec;
@@ -51,7 +63,8 @@ val key : t -> string
     combo). *)
 
 val kind : t -> string
-(** "litmus" | "check" | "model" | "ring" | "fuzz" | "fix". *)
+(** "litmus" | "check" | "model" | "ring" | "fuzz" | "fix" | "perturb"
+    | "opt". *)
 
 val route_hash : t -> int
 (** Structural identity hash for shard routing: spec surface form plus

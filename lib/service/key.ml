@@ -141,4 +141,57 @@ let canonical_test (t : Lang.test) =
     fp;
   Buffer.contents b
 
+module Cfg = Armb_litmus.Cfg
+
+(* CFG programs are keyed structurally — surface names and all.  Unlike
+   [canonical_test] there is no renaming pass and no predicate
+   fingerprint: every program that reaches the service was built by the
+   codec, which only constructs programs with the trivially-false
+   predicate, so two structurally-equal programs always denote the same
+   computation, and a renamed variant merely misses the cache (costs a
+   recomputation, never a wrong coalesce). *)
+let canonical_program (p : Cfg.program) =
+  let b = Buffer.create 512 in
+  let add_instr i (instr : Lang.instr) =
+    ignore i;
+    (match instr with
+    | Lang.Load { var; reg; acquire; addr_dep } ->
+      Buffer.add_string b
+        (Printf.sprintf "L %s %s a%d d%s" var reg
+           (if acquire then 1 else 0)
+           (match addr_dep with Some r -> r | None -> "-"))
+    | Lang.Store { var; v; release; addr_dep } ->
+      Buffer.add_string b
+        (Printf.sprintf "S %s %s l%d d%s" var
+           (match v with
+           | Lang.Const k -> Printf.sprintf "c%Ld" k
+           | Lang.Reg r -> r)
+           (if release then 1 else 0)
+           (match addr_dep with Some r -> r | None -> "-"))
+    | Lang.Fence f -> Buffer.add_string b ("F " ^ Lang.fence_to_string f));
+    Buffer.add_char b ';'
+  in
+  List.iteri
+    (fun i (th : Cfg.thread_cfg) ->
+      Buffer.add_string b (Printf.sprintf "T%d entry=%s\n" i th.Cfg.entry);
+      List.iter
+        (fun (blk : Cfg.block) ->
+          Buffer.add_string b (Printf.sprintf "B %s|" blk.Cfg.label);
+          List.iter (add_instr i) blk.Cfg.body;
+          (match blk.Cfg.term with
+          | Cfg.Goto l -> Buffer.add_string b ("goto " ^ l)
+          | Cfg.Branch { reg; if_nonzero; if_zero } ->
+            Buffer.add_string b
+              (Printf.sprintf "br %s %s %s" reg if_nonzero if_zero)
+          | Cfg.Return -> Buffer.add_string b "ret");
+          Buffer.add_char b '\n')
+        th.Cfg.blocks)
+    p.Cfg.threads;
+  List.iter
+    (fun (v, x) -> Buffer.add_string b (Printf.sprintf "I %s=%Ld\n" v x))
+    (List.sort compare p.Cfg.init);
+  Buffer.add_string b
+    (Printf.sprintf "E tso=%b wmm=%b\n" p.Cfg.expect_tso p.Cfg.expect_wmm);
+  Buffer.contents b
+
 let digest s = Digest.to_hex (Digest.string s)

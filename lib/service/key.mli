@@ -24,5 +24,13 @@ val canonical_test : Armb_litmus.Lang.test -> string
 (** Name-independent canonical serialization of a litmus test,
     including the predicate fingerprint. *)
 
+val canonical_program : Armb_litmus.Cfg.program -> string
+(** Structural serialization of a CFG program (blocks, terminators,
+    sorted init, expectation flags) for keying [Opt] jobs.  No renaming
+    pass and no predicate fingerprint: codec-built programs always carry
+    the trivially-false predicate, so structural equality implies
+    computational equality; a hand-renamed variant only misses the
+    cache, it can never coalesce wrongly. *)
+
 val digest : string -> string
 (** Hex MD5 of a canonical serialization — the content address. *)

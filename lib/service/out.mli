@@ -1,0 +1,11 @@
+(** Atomic artifact writing, shared by the CLI's [--out] plumbing and
+    the soak driver's rolling metrics snapshots and violation bundles.
+
+    [write ~path text] creates missing parent directories, writes
+    [text] to a temp file in the target's directory and renames it into
+    place — so a reader polling a rolling artifact (the soak farm's
+    metrics JSON) always sees either the previous complete snapshot or
+    the new one, never a torn write.  I/O failures come back as
+    [Error msg] rather than a raw [Sys_error]. *)
+
+val write : path:string -> string -> (unit, string) result

@@ -6,14 +6,31 @@ let emit oc (r : Engine.response) =
 
 (* ---------- streaming mode ---------- *)
 
-let serve ?(drain_every = 16) engine ic oc =
+(* Shutdown drain semantics: whichever bound fires first (EOF,
+   [max_requests] accepted request lines, or [duration_s] of wall
+   clock), the loop stops *reading* but never stops *answering* —
+   every request already accepted is drained to a response before the
+   stream closes, and unread input is simply left unread.  So a bounded
+   serve is a prefix of the unbounded one: same responses, same order,
+   truncated input. *)
+let serve ?(drain_every = 16) ?max_requests ?duration_s engine ic oc =
   let lineno = ref 0 in
+  let accepted = ref 0 in
+  let clock = Clock.create () in
+  let t0 = Clock.now_us clock in
+  let hit_bound () =
+    (match max_requests with Some m -> !accepted >= m | None -> false)
+    || match duration_s with
+       | Some d -> float_of_int (Clock.elapsed_us clock ~since:t0) /. 1e6 >= d
+       | None -> false
+  in
   let drain () = List.iter (emit oc) (Engine.drain engine) in
   (try
-     while true do
+     while not (hit_bound ()) do
        let line = input_line ic in
        incr lineno;
        if String.trim line <> "" then begin
+         incr accepted;
          (match Codec.request_of_line ~default_id:(string_of_int !lineno) line with
          | Error e ->
            emit oc

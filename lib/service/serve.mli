@@ -5,14 +5,28 @@
     that verifies the cache instead of trusting it. *)
 
 val serve :
-  ?drain_every:int -> Engine.t -> in_channel -> out_channel -> unit
+  ?drain_every:int ->
+  ?max_requests:int ->
+  ?duration_s:float ->
+  Engine.t ->
+  in_channel ->
+  out_channel ->
+  unit
 (** Streaming mode: read one JSON request per line, write one JSON
     response per line.  Immediate answers (hits, sheds, errors) are
     emitted as soon as the request is read; queued work is drained
     whenever [drain_every] (default 16) computations are pending and at
     end of input, so identical requests arriving close together
-    coalesce.  Returns on EOF with every response written and flushed
-    (clean shutdown). *)
+    coalesce.
+
+    Termination: the loop stops reading at EOF, after [max_requests]
+    accepted (non-blank) request lines, or once [duration_s] seconds of
+    wall clock have elapsed (checked between lines — a request in
+    flight is never abandoned), whichever comes first.  Shutdown drain
+    semantics: stopping only stops {e reading}; every accepted request
+    is drained to a response and flushed before return, and unread
+    input is left unread — a bounded serve is a prefix of the unbounded
+    one. *)
 
 (** Matches drained responses back to input slots by request id (ids
     may repeat: each id keys a FIFO of slots).  Shared by {!run_batch}

@@ -358,7 +358,10 @@ let run_batch t ~lines =
 
 (* ---------- streaming mode ---------- *)
 
-let serve t ic oc =
+(* Same shutdown drain semantics as {!Serve.serve}: any bound (EOF,
+   max_requests, duration) only stops reading — every forwarded request
+   still drains to a response before return. *)
+let serve ?max_requests ?duration_s t ic oc =
   ensure_live t "Shard.serve";
   let emit (r : Engine.response) =
     output_string oc (Codec.response_to_line r);
@@ -379,11 +382,21 @@ let serve t ic oc =
     | Stopped -> ()
   in
   let lineno = ref 0 in
+  let accepted = ref 0 in
+  let clock = Clock.create () in
+  let t0 = Clock.now_us clock in
+  let hit_bound () =
+    (match max_requests with Some m -> !accepted >= m | None -> false)
+    || match duration_s with
+       | Some d -> float_of_int (Clock.elapsed_us clock ~since:t0) /. 1e6 >= d
+       | None -> false
+  in
   (try
-     while true do
+     while not (hit_bound ()) do
        let line = input_line ic in
        incr lineno;
        if String.trim line <> "" then begin
+         incr accepted;
          let default_id = string_of_int !lineno in
          (match Codec.request_of_line ~default_id line with
          | Error e ->

@@ -63,11 +63,15 @@ val run_batch : t -> lines:string list -> Serve.batch
     {!Serve.run_batch}.  The pool stays warm: a second batch on the
     same [t] hits the shard caches. *)
 
-val serve : t -> in_channel -> out_channel -> unit
+val serve :
+  ?max_requests:int -> ?duration_s:float -> t -> in_channel -> out_channel -> unit
 (** Streaming NDJSON loop over the pool: immediate answers (hits,
     sheds, errors) are emitted as their rows arrive; each shard drains
     eagerly when idle or when [drain_every] computations are pending.
-    Returns on EOF with every outstanding response written and flushed.
+    Returns on EOF — or after [max_requests] accepted request lines or
+    [duration_s] seconds, whichever comes first, with the same shutdown
+    drain semantics as {!Serve.serve}: bounds stop {e reading}, never
+    answering; every outstanding response is written and flushed.
     The pool stays live; call {!shutdown} to stop it. *)
 
 val shutdown : t -> Engine.response list

@@ -1,0 +1,89 @@
+(** The long-lived bounded soak driver: generated job streams as
+    production traffic against the real service stack.
+
+    Waves of {!Gen} requests flow through an in-process engine (or the
+    multi-domain sharded pool when [domains >= 2]) exactly as piped
+    NDJSON would — same codec, same memo cache, coalescing, admission
+    and shedding.  Every terminal response is checked against the
+    job's {!Invariant.expect}; violations persist as self-contained
+    repro bundles ([armb-soak-violation-v1]: seed, verbatim request
+    line, response).  Shed responses are resubmitted through {!Retry}
+    — a request ends completed, gave-up (counted, reported), or
+    violated (bundled); never silently dropped.
+
+    A rolling [armb-soak-metrics-v1] snapshot — engine metrics
+    (hit/coalesce/shed rates, latency percentiles) merged with farm
+    counters (jobs per kind, drift totals, violations, retry cycles)
+    — is rewritten atomically every [snapshot_every] waves, so an
+    external watcher can tail a live run without ever reading a torn
+    file.  During a sharded run the rolling snapshots carry
+    router-side counters only (shard engines merge their metrics into
+    the aggregate at shutdown); the final snapshot, written after
+    shutdown, is the complete one. *)
+
+module Engine = Armb_service.Engine
+module Metrics = Armb_service.Metrics
+module Retry = Armb_service.Retry
+
+type config = {
+  seed : int;
+  requests : int;  (** stop after this many submissions; 0 = no count bound *)
+  duration_s : float option;  (** stop after this much wall clock *)
+  wave : int;  (** requests per wave (one batch round trip) *)
+  pool : int;
+  alpha : float;
+  queue_bound : int;
+  cache_cap : int;
+  domains : int;  (** >= 2 runs the sharded pool *)
+  snapshot_every : int;  (** waves between rolling snapshots; 0 = final only *)
+  metrics_out : string option;
+  bundle_dir : string option;
+  retry : Retry.policy;
+}
+
+val default_config : seed:int -> config
+(** 500 requests, wave 32, pool {!Gen.default_pool}, alpha 1.1, queue
+    bound 24, cache 512, single engine, snapshot every 4 waves, no
+    artifact paths, {!Retry.default_policy}. *)
+
+type violation = {
+  index : int;  (** 1-based submission index *)
+  job : Gen.job;
+  response : Engine.response;
+  reason : string;
+  bundle : string option;  (** repro bundle path, when a dir was given *)
+}
+
+type report = {
+  submitted : int;
+  completed : int;
+  cold : int;
+  hits : int;
+  coalesced : int;
+  shed_seen : int;  (** shed responses observed before retrying *)
+  retried_ok : int;  (** shed -> retry -> complete cycles *)
+  gave_up : int;  (** still shed after the retry policy; reported *)
+  errors : int;
+  by_kind : (string * int) list;  (** submissions per job kind, sorted *)
+  drift_total : float;  (** summed perturb drift, ms precision *)
+  violations : violation list;
+  snapshots : int;
+  wall_s : float;
+  metrics : Metrics.t;
+  ok : bool;  (** zero violations; gave-up/errors are reported, not fatal *)
+}
+
+val run :
+  ?sleep:(int -> unit) ->
+  ?jobs:Gen.job list ->
+  ?progress:(string -> unit) ->
+  config ->
+  report
+(** Runs the soak to its bound.  Raises [Invalid_argument] for an
+    unbounded config ([requests <= 0], no [duration_s], no [?jobs]).
+    [?sleep] injects the retry backoff clock (tests pass [ignore]).
+    [?jobs] replaces the generator stream with an explicit list —
+    fixture injection for the violation-bundle tests.  [?progress]
+    receives non-fatal operational notes (artifact write failures). *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,58 @@
+(** The deterministic job-stream generator: randomized service traffic
+    over every correctness engine in the tree.
+
+    A seeded pool of distinct jobs — catalogue litmus runs, sanitizer
+    checks, fault-injection perturb sweeps, strip→repair fix jobs on
+    inline communication skeletons with declarative weak-outcome
+    predicates, fence-optimization jobs on named over-fenced catalogue
+    programs and fuzzed CFGs, plus fuzz/ring/model filler — sampled
+    under a Zipf law so a few hot keys dominate (memo-cache and
+    coalescing traffic) while the tail keeps cold work arriving.
+
+    Fully deterministic: the same [seed] (and pool parameters)
+    reproduces the identical NDJSON line stream, byte for byte — the
+    repro-bundle and CI-reproducibility contract.
+
+    Every job carries the {!Invariant.expect} a correct service must
+    satisfy, and the pool is built so each expectation is guaranteed by
+    design: check/perturb jobs use only hand-verified catalogue tests
+    at the cross-check-pinned trials/seed, fix skeletons are unfenced
+    shapes whose weak outcome is WMM-reachable and repairable within
+    the shipped edit budget, opt inputs are over-fenced. *)
+
+type job = {
+  id : string;  (** "soak-<n>", sequential *)
+  kind : string;  (** {!Armb_service.Job.kind} of the request *)
+  expect : Invariant.expect;
+  line : string;  (** the NDJSON request, one line, no newline *)
+}
+
+type t
+(** A stream cursor: pool plus sampling state. *)
+
+val default_pool : int
+
+val create : ?pool:int -> ?alpha:float -> ?clients:int -> seed:int -> unit -> t
+(** Defaults: pool {!default_pool} (= 48) distinct jobs interleaved
+    across kinds before truncation (a small pool still mixes every
+    kind), Zipf exponent [alpha = 1.1], 16 client names. *)
+
+val pool_size : t -> int
+
+val pool_kinds : t -> string list
+(** Distinct job kinds present in the pool, sorted. *)
+
+val next : t -> job
+
+val take_jobs : t -> int -> job list
+
+val stream :
+  ?pool:int ->
+  ?alpha:float ->
+  ?clients:int ->
+  requests:int ->
+  seed:int ->
+  unit ->
+  job list
+(** [take_jobs (create ...) requests] — the one-shot form behind
+    [armb soak --emit] and the determinism tests. *)

@@ -1,0 +1,60 @@
+(* One soak round shape for the whole tree.
+
+   Synth.Soak (strip->repair->re-verify), Opt.Soak (over-fence->
+   optimize->re-verify) and the service-traffic driver each iterate a
+   generate/execute/verify loop; this module is the common currency
+   their iterations convert into, so every soak — CLI one-shots and
+   the long-lived farm alike — reports through one shape and one
+   renderer. *)
+
+type round = {
+  index : int;  (** 1-based position in its stream *)
+  kind : string;  (** "fix" | "opt" | a service job kind *)
+  subject : string;  (** test / program / request id *)
+  ok : bool;  (** no fatal finding in this round *)
+  detail : string;  (** one-line human outcome *)
+  failures : string list;  (** fatal findings, in discovery order *)
+}
+
+let ok r = r.ok
+
+let of_synth (r : Armb_synth.Soak.round) =
+  let detail =
+    match r.Armb_synth.Soak.status with
+    | Armb_synth.Soak.Skipped_no_devices -> "no candidate edits"
+    | Armb_synth.Soak.Still_sound -> "injected devices inert"
+    | Armb_synth.Soak.Repaired n -> Printf.sprintf "%d repair set(s)" n
+    | Armb_synth.Soak.No_repair -> "search exhausted"
+  in
+  {
+    index = r.Armb_synth.Soak.index;
+    kind = "fix";
+    subject = r.Armb_synth.Soak.test_name;
+    ok = Armb_synth.Soak.round_ok r;
+    detail =
+      Printf.sprintf "%s (%d oracle calls)" detail r.Armb_synth.Soak.oracle_calls;
+    failures = r.Armb_synth.Soak.failures;
+  }
+
+let of_opt (r : Armb_opt.Soak.round) =
+  {
+    index = r.Armb_opt.Soak.index;
+    kind = "opt";
+    subject = r.Armb_opt.Soak.program_name;
+    ok = Armb_opt.Soak.round_ok r;
+    detail =
+      Printf.sprintf "fences %d -> %d%s" r.Armb_opt.Soak.input_fences
+        r.Armb_opt.Soak.output_fences
+        (if r.Armb_opt.Soak.improved then " (improved)" else "");
+    failures = r.Armb_opt.Soak.failures;
+  }
+
+let all_ok rounds = List.for_all ok rounds
+
+let failures rounds = List.concat_map (fun r -> r.failures) rounds
+
+let pp ppf r =
+  Format.fprintf ppf "%4d %-8s %-24s %s %s" r.index r.kind r.subject
+    (if r.ok then "ok  " else "FAIL")
+    r.detail;
+  List.iter (fun f -> Format.fprintf ppf "@.       %s" f) r.failures

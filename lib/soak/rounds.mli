@@ -1,0 +1,26 @@
+(** The unified soak round: one record shape for every
+    generate/execute/verify iteration in the tree.
+
+    {!Armb_synth.Soak} and {!Armb_opt.Soak} now produce per-round
+    records ([run_rounds]) that convert losslessly into this shape
+    ({!of_synth}/{!of_opt}); the service-traffic driver ({!Driver})
+    emits it natively for violations.  The classic aggregate reports
+    (and their [armb fix --soak] / [armb opt --soak] renderings) are
+    folds over the same rounds, so the one-shot CLIs and the farm
+    cannot drift apart. *)
+
+type round = {
+  index : int;  (** 1-based position in its stream *)
+  kind : string;  (** "fix" | "opt" | a service job kind *)
+  subject : string;  (** test / program / request id *)
+  ok : bool;  (** no fatal finding in this round *)
+  detail : string;  (** one-line human outcome *)
+  failures : string list;  (** fatal findings, in discovery order *)
+}
+
+val ok : round -> bool
+val of_synth : Armb_synth.Soak.round -> round
+val of_opt : Armb_opt.Soak.round -> round
+val all_ok : round list -> bool
+val failures : round list -> string list
+val pp : Format.formatter -> round -> unit

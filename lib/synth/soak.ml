@@ -72,31 +72,51 @@ let shaped_skeleton rng =
     expect_wmm = false;
   }
 
-let run ?(tests = 20) ?(seed = 2024) ?(max_edits = 2) ?(budget = 1200)
-    ?(sim_trials = 25) () =
-  let rng = Rng.create seed in
-  let skipped = ref 0 and still_sound = ref 0 and repaired = ref 0 in
-  let no_repair = ref 0 and unsound = ref 0 and redundant = ref 0 in
+(* One soak iteration as a first-class record, so the unified soak
+   subsystem (lib/soak) and the classic aggregate report below both
+   consume the same stream of rounds. *)
+
+type status =
+  | Skipped_no_devices
+  | Still_sound
+  | Repaired of int  (** minimal repair sets found *)
+  | No_repair
+
+type round = {
+  index : int;
+  test_name : string;
+  status : status;
+  unsound : int;
+  redundant : int;
+  sim_violations : int;
+  oracle_calls : int;
+  failures : string list;
+}
+
+let round_ok r = r.unsound = 0 && r.redundant = 0 && r.sim_violations = 0 && r.failures = []
+
+let run_round ~seed ~max_edits ~budget ~sim_trials rng i =
+  let unsound = ref 0 and redundant = ref 0 in
   let sim_violations = ref 0 and calls = ref 0 in
   let failures = ref [] in
   let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
-  for i = 1 to tests do
-    (* A fuzzed test reduced to its access skeleton, then re-armed with
-       a random ground-truth device set drawn from the same vocabulary
-       the repairer uses.  Stripping the armed test recovers the
-       skeleton, so the synthesizer is asked to win back (a minimal
-       subset of) exactly what was injected — soundness is monotone in
-       the edit set, so a sufficient repair within [max_edits] edits is
-       guaranteed to exist whenever the budget lets the search reach
-       it. *)
-    let skeleton =
-      if Rng.int rng 4 = 0 then
-        Mutate.strip_order ~keep_values:true (Fuzz.generate ~with_isb:true rng)
-      else shaped_skeleton rng
-    in
-    let skeleton = Mutate.rename (Printf.sprintf "fuzz-fix-%d" i) skeleton in
-    let cands = Array.of_list (Placement.candidates skeleton) in
-    if Array.length cands = 0 then incr skipped
+  (* A fuzzed test reduced to its access skeleton, then re-armed with
+     a random ground-truth device set drawn from the same vocabulary
+     the repairer uses.  Stripping the armed test recovers the
+     skeleton, so the synthesizer is asked to win back (a minimal
+     subset of) exactly what was injected — soundness is monotone in
+     the edit set, so a sufficient repair within [max_edits] edits is
+     guaranteed to exist whenever the budget lets the search reach
+     it. *)
+  let skeleton =
+    if Rng.int rng 4 = 0 then
+      Mutate.strip_order ~keep_values:true (Fuzz.generate ~with_isb:true rng)
+    else shaped_skeleton rng
+  in
+  let skeleton = Mutate.rename (Printf.sprintf "fuzz-fix-%d" i) skeleton in
+  let cands = Array.of_list (Placement.candidates skeleton) in
+  let status =
+    if Array.length cands = 0 then Skipped_no_devices
     else begin
       let k = min max_edits (Array.length cands) in
       let injected =
@@ -128,21 +148,20 @@ let run ?(tests = 20) ?(seed = 2024) ?(max_edits = 2) ?(budget = 1200)
       in
       if subset (outcome_set skeleton) allowed then
         (* the injected devices forbid nothing observable *)
-        incr still_sound
+        Still_sound
       else begin
         let s = Search.search ~max_edits ~budget ~sound skeleton in
         match s.Search.repairs with
         | [] ->
-          incr no_repair;
           if s.Search.complete then
             (* cannot happen: [injected] itself is sufficient and within
                [max_edits]; a complete search must find a subset of it *)
             fail "%s: complete search found no repair despite injected [%s]"
               skeleton.Lang.name
               (String.concat "; "
-                 (List.map (Placement.edit_to_string skeleton) injected))
+                 (List.map (Placement.edit_to_string skeleton) injected));
+          No_repair
         | sets ->
-          incr repaired;
           List.iter
             (fun set ->
               let rt = Placement.apply skeleton set in
@@ -169,22 +188,44 @@ let run ?(tests = 20) ?(seed = 2024) ?(max_edits = 2) ?(budget = 1200)
                 incr sim_violations;
                 fail "%s: simulator outcome outside WMM set: %s" cheapest.Lang.name o
               end)
-            r.Sim_runner.outcomes
+            r.Sim_runner.outcomes;
+          Repaired (List.length sets)
       end
     end
-  done;
+  in
   {
-    tests;
-    skipped_no_devices = !skipped;
-    stripped_still_sound = !still_sound;
-    repaired = !repaired;
-    no_repair = !no_repair;
+    index = i;
+    test_name = skeleton.Lang.name;
+    status;
     unsound = !unsound;
     redundant = !redundant;
     sim_violations = !sim_violations;
     oracle_calls = !calls;
     failures = List.rev !failures;
   }
+
+let run_rounds ?(tests = 20) ?(seed = 2024) ?(max_edits = 2) ?(budget = 1200)
+    ?(sim_trials = 25) () =
+  let rng = Rng.create seed in
+  List.init tests (fun i -> run_round ~seed ~max_edits ~budget ~sim_trials rng (i + 1))
+
+let report_of_rounds rounds =
+  let count f = List.length (List.filter f rounds) in
+  {
+    tests = List.length rounds;
+    skipped_no_devices = count (fun r -> r.status = Skipped_no_devices);
+    stripped_still_sound = count (fun r -> r.status = Still_sound);
+    repaired = count (fun r -> match r.status with Repaired _ -> true | _ -> false);
+    no_repair = count (fun r -> r.status = No_repair);
+    unsound = List.fold_left (fun a r -> a + r.unsound) 0 rounds;
+    redundant = List.fold_left (fun a r -> a + r.redundant) 0 rounds;
+    sim_violations = List.fold_left (fun a r -> a + r.sim_violations) 0 rounds;
+    oracle_calls = List.fold_left (fun a r -> a + r.oracle_calls) 0 rounds;
+    failures = List.concat_map (fun r -> r.failures) rounds;
+  }
+
+let run ?tests ?seed ?max_edits ?budget ?sim_trials () =
+  report_of_rounds (run_rounds ?tests ?seed ?max_edits ?budget ?sim_trials ())
 
 let pp_report ppf r =
   Format.fprintf ppf

@@ -1,0 +1,476 @@
+(* Tests for the continuous soak farm: seeded stream determinism,
+   the inline-test / inline-program wire codecs, the retry client,
+   bounded serve, the metrics-v1 artifact, violation repro bundles,
+   unified soak rounds, and end-to-end mixed runs on the single
+   engine and the sharded pool. *)
+
+module Lang = Armb_litmus.Lang
+module Cat = Armb_litmus.Catalogue
+module Fuzz = Armb_litmus.Fuzz
+module Rng = Armb_sim.Rng
+module Json = Armb_service.Json
+module Key = Armb_service.Key
+module Codec = Armb_service.Codec
+module Engine = Armb_service.Engine
+module Serve = Armb_service.Serve
+module Retry = Armb_service.Retry
+module Out = Armb_service.Out
+module Gen = Armb_soak.Gen
+module Invariant = Armb_soak.Invariant
+module Driver = Armb_soak.Driver
+module Rounds = Armb_soak.Rounds
+module Synth_soak = Armb_synth.Soak
+module Opt_soak = Armb_opt.Soak
+
+let check = Alcotest.check
+
+let tmp_path suffix =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "armb-soak-test-%d-%s" (Unix.getpid ()) suffix)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ---------- generator determinism ---------- *)
+
+let test_stream_deterministic () =
+  let a = Gen.stream ~requests:150 ~seed:31 () in
+  let b = Gen.stream ~requests:150 ~seed:31 () in
+  let lines js = List.map (fun j -> j.Gen.line) js in
+  check (Alcotest.list Alcotest.string) "same seed, byte-identical stream"
+    (lines a) (lines b);
+  let c = Gen.stream ~requests:150 ~seed:32 () in
+  check Alcotest.bool "different seed, different stream" true (lines a <> lines c)
+
+let test_stream_decodes_and_mixes () =
+  let jobs = Gen.stream ~requests:200 ~seed:5 () in
+  List.iter
+    (fun j ->
+      match Codec.request_of_line j.Gen.line with
+      | Ok req ->
+        check Alcotest.string
+          ("declared kind matches decoded kind: " ^ j.Gen.line)
+          j.Gen.kind
+          (Armb_service.Job.kind req.Engine.job)
+      | Error e -> Alcotest.fail ("stream line does not decode: " ^ e))
+    jobs;
+  let kinds = List.sort_uniq compare (List.map (fun j -> j.Gen.kind) jobs) in
+  List.iter
+    (fun k ->
+      check Alcotest.bool ("kind present in 200-job stream: " ^ k) true
+        (List.mem k kinds))
+    [ "litmus"; "check"; "perturb"; "fix"; "opt" ]
+
+let test_small_pool_still_mixes () =
+  let t = Gen.create ~pool:12 ~seed:9 () in
+  let kinds = Gen.pool_kinds t in
+  check Alcotest.bool
+    (Printf.sprintf "12-job pool spans >= 5 kinds (got %s)"
+       (String.concat "," kinds))
+    true
+    (List.length kinds >= 5)
+
+(* ---------- inline wire codecs ---------- *)
+
+(* The canonical key has two parts: the structural lines (threads,
+   init, expectations) and the predicate-probing "O ..." lines.  A
+   round trip with a synthetic predicate must preserve the former; the
+   latter only when the declared conjunction IS the test's original
+   predicate (SB and LB below). *)
+let structural_key t =
+  Key.canonical_test t
+  |> String.split_on_char '\n'
+  |> List.filter (fun l -> not (String.length l > 1 && l.[0] = 'O' && l.[1] = ' '))
+  |> String.concat "\n"
+
+let test_inline_test_round_trip () =
+  let conds = [ ("0:r1", 1L) ] in
+  List.iter
+    (fun (t : Lang.test) ->
+      let j = Codec.test_inline_to_json ~interesting_when:conds t in
+      match Codec.test_inline_of_json j with
+      | Error e -> Alcotest.fail (t.Lang.name ^ ": inline test does not parse: " ^ e)
+      | Ok t' ->
+        check Alcotest.string (t.Lang.name ^ ": name survives") t.Lang.name
+          t'.Lang.name;
+        check Alcotest.string
+          (t.Lang.name ^ ": structural key survives the round trip")
+          (structural_key t) (structural_key t');
+        (* and the rendering is a fixpoint: serialize(parse(j)) = j *)
+        check Alcotest.string
+          (t.Lang.name ^ ": serialization fixpoint")
+          (Json.to_string j)
+          (Json.to_string (Codec.test_inline_to_json ~interesting_when:conds t')))
+    (List.filteri (fun i _ -> i < 8) Cat.all);
+  (* with the true predicate declared, the FULL canonical key (probing
+     lines included) survives — wire semantics = closure semantics *)
+  List.iter
+    (fun (name, conds) ->
+      match Codec.find_test name with
+      | None -> Alcotest.fail ("catalogue test missing: " ^ name)
+      | Some t -> (
+        let j = Codec.test_inline_to_json ~interesting_when:conds t in
+        match Codec.test_inline_of_json j with
+        | Error e -> Alcotest.fail (name ^ ": inline test does not parse: " ^ e)
+        | Ok t' ->
+          check Alcotest.string
+            (name ^ ": full canonical key survives with the true predicate")
+            (Key.canonical_test t) (Key.canonical_test t')))
+    [
+      ("SB", [ ("0:r1", 0L); ("1:r1", 0L) ]);
+      ("LB", [ ("0:r1", 1L); ("1:r1", 1L) ]);
+    ]
+
+let test_inline_program_round_trip () =
+  let rng = Rng.create 77 in
+  for i = 1 to 6 do
+    let p = Fuzz.generate_cfg ~with_loop:(i mod 2 = 0) rng in
+    let j = Codec.program_to_json p in
+    match Codec.program_of_json j with
+    | Error e -> Alcotest.fail (Printf.sprintf "program %d does not parse: %s" i e)
+    | Ok p' ->
+      check Alcotest.string
+        (Printf.sprintf "program %d: canonical key survives" i)
+        (Key.canonical_program p) (Key.canonical_program p');
+      check Alcotest.string
+        (Printf.sprintf "program %d: serialization fixpoint" i)
+        (Json.to_string j)
+        (Json.to_string (Codec.program_to_json p'))
+  done
+
+(* ---------- retry client ---------- *)
+
+let shed_resp ms = { Engine.id = "r"; client = "c"; reply = Engine.Shed { retry_after_ms = ms } }
+
+let ok_resp =
+  {
+    Engine.id = "r";
+    client = "c";
+    reply = Engine.Error "stand-in terminal reply";
+  }
+
+let test_retry_completes () =
+  let sleeps = ref [] in
+  let remaining_sheds = ref 2 in
+  let attempt () =
+    if !remaining_sheds > 0 then begin
+      decr remaining_sheds;
+      shed_resp 15
+    end
+    else ok_resp
+  in
+  match
+    Retry.resubmit
+      ~policy:{ Retry.max_retries = 5; base_ms = 10; cap_ms = 1000 }
+      ~sleep:(fun ms -> sleeps := ms :: !sleeps)
+      ~attempt (shed_resp 15)
+  with
+  | Retry.Completed { retries; _ } ->
+    check Alcotest.int "completed after 3 attempts" 3 retries;
+    (* backoff honors the engine hint as a floor and doubles the base *)
+    check (Alcotest.list Alcotest.int) "backoffs: max(hint, base*2^n)"
+      [ 15; 20; 40 ] (List.rev !sleeps)
+  | Retry.Gave_up _ -> Alcotest.fail "retry gave up with retries remaining"
+
+let test_retry_gives_up () =
+  let attempts = ref 0 in
+  match
+    Retry.resubmit
+      ~policy:{ Retry.max_retries = 3; base_ms = 1; cap_ms = 4 }
+      ~sleep:ignore
+      ~attempt:(fun () -> incr attempts; shed_resp 1)
+      (shed_resp 1)
+  with
+  | Retry.Completed _ -> Alcotest.fail "cannot complete: every attempt sheds"
+  | Retry.Gave_up { last; retries } ->
+    check Alcotest.int "exactly max_retries attempts" 3 !attempts;
+    check Alcotest.int "retries reported" 3 retries;
+    check Alcotest.bool "last response is the shed" true (Retry.is_shed last)
+
+(* ---------- bounded serve ---------- *)
+
+let litmus_line i =
+  Printf.sprintf "{\"id\":\"q%d\",\"kind\":\"litmus\",\"test\":\"MP\",\"trials\":5,\"seed\":%d}" i i
+
+let test_serve_max_requests () =
+  let inp = tmp_path "serve-in.ndjson" in
+  let out = tmp_path "serve-out.ndjson" in
+  (match Out.write ~path:inp (String.concat "\n" (List.init 10 litmus_line) ^ "\n") with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  let engine = Engine.create ~cache_cap:16 ~queue_bound:16 () in
+  let ic = open_in inp and oc = open_out out in
+  Serve.serve ~max_requests:3 engine ic oc;
+  close_in_noerr ic;
+  close_out_noerr oc;
+  let responses =
+    String.split_on_char '\n' (read_file out)
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  (* the bound stops reading, never answering: exactly the accepted
+     prefix is drained and answered *)
+  check Alcotest.int "exactly 3 responses" 3 (List.length responses);
+  List.iteri
+    (fun i line ->
+      match Json.of_string line with
+      | Ok j ->
+        check (Alcotest.option Alcotest.string)
+          "responses are the accepted prefix, in order"
+          (Some (Printf.sprintf "q%d" i))
+          (Json.mem_str "id" j)
+      | Error e -> Alcotest.fail ("response does not parse: " ^ e))
+    responses;
+  Sys.remove inp;
+  Sys.remove out
+
+(* ---------- metrics artifact ---------- *)
+
+let small_config ~seed =
+  {
+    (Driver.default_config ~seed) with
+    Driver.requests = 120;
+    wave = 24;
+    pool = 24;
+    queue_bound = 8;
+  }
+
+let test_metrics_artifact_round_trips () =
+  let path = tmp_path "metrics.json" in
+  let cfg = { (small_config ~seed:7) with Driver.metrics_out = Some path } in
+  let r = Driver.run ~sleep:ignore cfg in
+  check Alcotest.bool "run is clean" true r.Driver.ok;
+  check Alcotest.bool "at least one rolling + one final snapshot" true
+    (r.Driver.snapshots >= 2);
+  let j =
+    match Json.of_string (read_file path) with
+    | Ok j -> j
+    | Error e -> Alcotest.fail ("metrics artifact does not parse: " ^ e)
+  in
+  check (Alcotest.option Alcotest.string) "schema" (Some "armb-soak-metrics-v1")
+    (Json.mem_str "schema" j);
+  check (Alcotest.option Alcotest.int) "submitted" (Some 120)
+    (Json.mem_int "submitted" j);
+  check (Alcotest.option Alcotest.int) "violations" (Some 0)
+    (Json.mem_int "violations" j);
+  (match Json.member "jobs_by_kind" j with
+  | Some (Json.Obj kinds) ->
+    check Alcotest.bool "per-kind counts present" true (List.length kinds >= 4)
+  | _ -> Alcotest.fail "jobs_by_kind missing");
+  (match Json.member "engine" j with
+  | Some engine ->
+    check (Alcotest.option Alcotest.string) "embedded engine schema"
+      (Some "armb-serve-metrics-v1")
+      (Json.mem_str "schema" engine);
+    check Alcotest.bool "p99 present" true
+      (Json.mem_int "latency_p99_us" engine <> None);
+    check Alcotest.bool "hit rate present and positive" true
+      (match Json.mem_number "hit_rate" engine with
+      | Some h -> h > 0.0
+      | None -> false)
+  | None -> Alcotest.fail "embedded engine metrics missing");
+  Sys.remove path
+
+(* ---------- violation repro bundles ---------- *)
+
+(* A fix job on an already-fenced catalogue test with a
+   must-repair expectation: the service truthfully answers "already
+   sound", the invariant cannot be satisfied, and the driver must
+   persist exactly one self-contained bundle. *)
+let test_injected_violation_bundle () =
+  let dir = tmp_path "bundles" in
+  let bad =
+    {
+      Gen.id = "inject-1";
+      kind = "fix";
+      expect = Invariant.Fix_must_repair;
+      line =
+        "{\"id\":\"inject-1\",\"kind\":\"fix\",\"test\":\"MP+dmb.st+dmb.ld\",\
+         \"max_edits\":1,\"budget\":200,\"trials\":10,\"seed\":42}";
+    }
+  in
+  let benign =
+    List.map
+      (fun i ->
+        {
+          Gen.id = Printf.sprintf "benign-%d" i;
+          kind = "litmus";
+          expect = Invariant.Status_ok;
+          line = litmus_line i;
+        })
+      [ 1; 2; 3 ]
+  in
+  let cfg =
+    {
+      (Driver.default_config ~seed:1) with
+      Driver.requests = 0;
+      wave = 4;
+      bundle_dir = Some dir;
+    }
+  in
+  let r = Driver.run ~sleep:ignore ~jobs:(benign @ [ bad ]) cfg in
+  check Alcotest.bool "run is flagged" false r.Driver.ok;
+  check Alcotest.int "exactly one violation" 1 (List.length r.Driver.violations);
+  let v = List.hd r.Driver.violations in
+  check Alcotest.string "the injected job violated" "inject-1" v.Driver.job.Gen.id;
+  let files = Sys.readdir dir in
+  check Alcotest.int "exactly one bundle file" 1 (Array.length files);
+  let bundle_path = Filename.concat dir files.(0) in
+  check (Alcotest.option Alcotest.string) "report points at the bundle"
+    (Some bundle_path) v.Driver.bundle;
+  (match Json.of_string (read_file bundle_path) with
+  | Error e -> Alcotest.fail ("bundle does not parse: " ^ e)
+  | Ok j ->
+    check (Alcotest.option Alcotest.string) "bundle schema"
+      (Some "armb-soak-violation-v1")
+      (Json.mem_str "schema" j);
+    check (Alcotest.option Alcotest.string) "bundle carries the verbatim request"
+      (Some bad.Gen.line) (Json.mem_str "request" j);
+    check Alcotest.bool "bundle carries a reason" true
+      (Json.mem_str "reason" j <> None);
+    (* self-contained: the recorded request replays through a fresh
+       engine and reproduces a terminal response *)
+    match Json.mem_str "request" j with
+    | None -> Alcotest.fail "unreachable"
+    | Some line -> (
+      let engine = Engine.create ~cache_cap:4 ~queue_bound:4 () in
+      match (Serve.run_batch engine ~lines:[ line ]).Serve.responses with
+      | [ resp ] ->
+        let verdict = Invariant.check Invariant.Fix_must_repair resp in
+        check Alcotest.bool "replay reproduces the violation" false
+          verdict.Invariant.ok
+      | _ -> Alcotest.fail "replay produced no response"));
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) files;
+  Unix.rmdir dir
+
+(* ---------- end-to-end mixed runs ---------- *)
+
+let test_mixed_run_single_engine () =
+  (* queue bound 4 under waves of 48 forces shedding, so the run must
+     demonstrate shed -> retry -> complete cycles *)
+  let cfg =
+    {
+      (Driver.default_config ~seed:11) with
+      Driver.requests = 200;
+      wave = 48;
+      pool = 48;
+      queue_bound = 4;
+    }
+  in
+  let r = Driver.run ~sleep:ignore cfg in
+  check Alcotest.bool "zero violations" true r.Driver.ok;
+  check Alcotest.int "every request submitted" 200 r.Driver.submitted;
+  check Alcotest.int "completed + gave_up accounts for every request" 200
+    (r.Driver.completed + r.Driver.gave_up);
+  check Alcotest.int "no error replies" 0 r.Driver.errors;
+  check Alcotest.bool "memo cache hit" true (r.Driver.hits > 0);
+  check Alcotest.bool "shed observed" true (r.Driver.shed_seen > 0);
+  check Alcotest.bool "shed -> retry -> complete cycle" true
+    (r.Driver.retried_ok > 0);
+  check Alcotest.bool "perturb drift accumulated" true (r.Driver.drift_total > 0.0);
+  check Alcotest.bool "at least 5 kinds exercised" true
+    (List.length r.Driver.by_kind >= 5)
+
+let test_mixed_run_sharded () =
+  let cfg =
+    {
+      (Driver.default_config ~seed:11) with
+      Driver.requests = 200;
+      wave = 48;
+      pool = 48;
+      queue_bound = 8;
+      domains = 2;
+    }
+  in
+  let r = Driver.run ~sleep:ignore cfg in
+  check Alcotest.bool "zero violations (2 domains)" true r.Driver.ok;
+  check Alcotest.int "every request submitted (2 domains)" 200 r.Driver.submitted;
+  check Alcotest.int "completed + gave_up accounts for every request (2 domains)"
+    200
+    (r.Driver.completed + r.Driver.gave_up);
+  check Alcotest.bool "memo cache hit (2 domains)" true (r.Driver.hits > 0)
+
+(* ---------- unified soak rounds ---------- *)
+
+let test_synth_rounds_fold_to_report () =
+  let rounds = Synth_soak.run_rounds ~tests:3 ~seed:2024 () in
+  check Alcotest.int "one round per test" 3 (List.length rounds);
+  let folded = Synth_soak.report_of_rounds rounds in
+  let direct = Synth_soak.run ~tests:3 ~seed:2024 () in
+  check Alcotest.bool "run = report_of_rounds . run_rounds" true (folded = direct);
+  let unified = List.map Rounds.of_synth rounds in
+  check Alcotest.bool "unified verdict agrees with the report" (Synth_soak.ok direct)
+    (Rounds.all_ok unified);
+  check
+    (Alcotest.list Alcotest.string)
+    "unified failures are the report failures" direct.Synth_soak.failures
+    (Rounds.failures unified);
+  List.iter
+    (fun r -> check Alcotest.string "synth rounds carry the fix kind" "fix" r.Rounds.kind)
+    unified
+
+let test_opt_rounds_fold_to_report () =
+  let rounds = Opt_soak.run_rounds ~rounds:4 ~seed:2025 () in
+  check Alcotest.int "one round per program" 4 (List.length rounds);
+  let folded = Opt_soak.report_of_rounds rounds in
+  let direct = Opt_soak.run ~rounds:4 ~seed:2025 () in
+  check Alcotest.bool "run = report_of_rounds . run_rounds" true (folded = direct);
+  let unified = List.map Rounds.of_opt rounds in
+  check Alcotest.bool "unified verdict agrees with the report" (Opt_soak.ok direct)
+    (Rounds.all_ok unified);
+  List.iter
+    (fun r -> check Alcotest.string "opt rounds carry the opt kind" "opt" r.Rounds.kind)
+    unified
+
+let () =
+  Alcotest.run "soak"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "same seed, byte-identical stream" `Quick
+            test_stream_deterministic;
+          Alcotest.test_case "every line decodes; kinds mixed" `Quick
+            test_stream_decodes_and_mixes;
+          Alcotest.test_case "small pool still mixes kinds" `Quick
+            test_small_pool_still_mixes;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "inline test round trip" `Quick
+            test_inline_test_round_trip;
+          Alcotest.test_case "inline program round trip" `Quick
+            test_inline_program_round_trip;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "sheds then completes, hint-floored backoff" `Quick
+            test_retry_completes;
+          Alcotest.test_case "gives up after the policy, never drops" `Quick
+            test_retry_gives_up;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "--max-requests answers the accepted prefix" `Quick
+            test_serve_max_requests;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "metrics-v1 artifact round-trips" `Quick
+            test_metrics_artifact_round_trips;
+          Alcotest.test_case "injected unsound repair -> one repro bundle" `Quick
+            test_injected_violation_bundle;
+          Alcotest.test_case "200 mixed jobs, single engine" `Quick
+            test_mixed_run_single_engine;
+          Alcotest.test_case "200 mixed jobs, 2 domains" `Quick
+            test_mixed_run_sharded;
+        ] );
+      ( "rounds",
+        [
+          Alcotest.test_case "synth rounds fold to the classic report" `Quick
+            test_synth_rounds_fold_to_report;
+          Alcotest.test_case "opt rounds fold to the classic report" `Quick
+            test_opt_rounds_fold_to_report;
+        ] );
+    ]
